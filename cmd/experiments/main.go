@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper-reproduction tables (E1–E10,
+// see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-exp E1,E3] [-seed 1] [-quick] [-format markdown|text|csv]
+//
+// With no -exp flag every experiment runs in registry order. Identical
+// seeds reproduce tables bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"congame/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E3) or 'all'")
+		seedFlag   = flag.Uint64("seed", 1, "base random seed")
+		quickFlag  = flag.Bool("quick", false, "reduced sizes and replications")
+		formatFlag = flag.String("format", "markdown", "output format: markdown, text, or csv")
+		outFlag    = flag.String("out", "", "also write one CSV file per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *outFlag != "" {
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: create output dir: %v\n", err)
+			return 1
+		}
+	}
+
+	var selected []sim.Experiment
+	if *expFlag == "all" {
+		selected = sim.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := sim.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := sim.Config{Seed: *seedFlag, Quick: *quickFlag}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			return 1
+		}
+		switch *formatFlag {
+		case "markdown":
+			fmt.Println(table.Markdown())
+		case "text":
+			fmt.Println(table.Text())
+		case "csv":
+			fmt.Print(table.CSV())
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *formatFlag)
+			return 2
+		}
+		if *outFlag != "" {
+			path := filepath.Join(*outFlag, strings.ToLower(e.ID)+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+				return 1
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

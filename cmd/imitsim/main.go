@@ -1,0 +1,179 @@
+// Command imitsim runs a single simulation of the IMITATION PROTOCOL (or
+// its exploration/combined variants) on a named workload and prints the
+// trajectory: per-round potential, average latency, migration counts, a
+// sparkline, and the final equilibrium diagnosis.
+//
+// Usage:
+//
+//	imitsim -workload linear -n 1024 -m 20 -rounds 500 [-protocol imitation]
+//	        [-seed 1] [-lambda 0.25] [-delta 0.1] [-eps 0.1] [-csv out.csv]
+//
+// Workloads: linear (random linear singletons), uniform (identical links),
+// monomial (a·x^d links, -degree), zero-offset (Theorem 9 scaling), twolink
+// (Section 2.3 overshoot instance), lastagent (Ω(n) instance), network
+// (layered DAG, -degree), braess.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"congame/internal/core"
+	"congame/internal/eq"
+	"congame/internal/prng"
+	"congame/internal/trace"
+	"congame/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		workloadFlag = flag.String("workload", "linear", "workload: linear, uniform, monomial, zero-offset, twolink, lastagent, network, braess")
+		nFlag        = flag.Int("n", 1024, "number of players")
+		mFlag        = flag.Int("m", 20, "number of links (singleton workloads)")
+		degreeFlag   = flag.Float64("degree", 2, "polynomial degree (monomial, zero-offset, twolink, network)")
+		protoFlag    = flag.String("protocol", "imitation", "protocol: imitation, virtual, exploration, combined, undamped")
+		roundsFlag   = flag.Int("rounds", 500, "maximum number of rounds")
+		seedFlag     = flag.Uint64("seed", 1, "random seed")
+		lambdaFlag   = flag.Float64("lambda", core.DefaultLambda, "migration probability scale λ")
+		deltaFlag    = flag.Float64("delta", 0.1, "δ of the (δ,ε,ν)-equilibrium stop condition")
+		epsFlag      = flag.Float64("eps", 0.1, "ε of the (δ,ε,ν)-equilibrium stop condition")
+		noNuFlag     = flag.Bool("no-nu", false, "drop the ν minimum-gain threshold")
+		csvFlag      = flag.String("csv", "", "write the per-round trajectory to this CSV file")
+	)
+	flag.Parse()
+
+	inst, err := buildWorkload(*workloadFlag, *nFlag, *mFlag, *degreeFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		return 2
+	}
+	proto, err := buildProtocol(inst, *protoFlag, *lambdaFlag, *noNuFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		return 2
+	}
+
+	rec := trace.NewRecorder()
+	engine, err := core.NewEngine(inst.State, proto, core.WithSeed(*seedFlag), core.WithObserver(rec))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("workload : %s\n", inst.Description)
+	fmt.Printf("protocol : %s (λ=%g)\n", proto.Name(), *lambdaFlag)
+	fmt.Printf("players  : %d   resources: %d   strategies: %d   d=%g   ν=%g\n",
+		inst.Game.NumPlayers(), inst.Game.NumResources(), inst.Game.NumStrategies(),
+		inst.Game.Elasticity(), inst.Game.Nu())
+	fmt.Printf("initial  : Φ=%.6g   L_av=%.6g   makespan=%.6g\n",
+		inst.State.Potential(), inst.State.AvgLatency(), inst.State.Makespan())
+
+	nu := inst.Game.Nu()
+	if *noNuFlag {
+		nu = 0
+	}
+	res := engine.Run(*roundsFlag, core.StopWhenApproxEq(*deltaFlag, *epsFlag, nu))
+
+	fmt.Printf("\nran %d rounds (%d migrations total)\n", res.Rounds, res.TotalMoves)
+	if res.Converged {
+		fmt.Printf("reached a (δ=%g, ε=%g, ν=%g)-equilibrium\n", *deltaFlag, *epsFlag, nu)
+	} else {
+		fmt.Println("round budget exhausted before the approximate equilibrium")
+	}
+	fmt.Printf("final    : Φ=%.6g   L_av=%.6g   makespan=%.6g\n",
+		inst.State.Potential(), inst.State.AvgLatency(), inst.State.Makespan())
+
+	if rec.Len() > 0 {
+		fmt.Printf("\nΦ trajectory    %s\n", trace.Sparkline(rec.Potentials(), 60))
+		fmt.Printf("L_av trajectory %s\n", trace.Sparkline(rec.AvgLatencies(), 60))
+	}
+
+	report, err := eq.CheckApprox(inst.State, *deltaFlag, *epsFlag, nu)
+	if err == nil {
+		fmt.Printf("\nunsatisfied players: %.2f%% expensive, %.2f%% cheap (L_av=%.6g, L⁺_av=%.6g)\n",
+			100*report.ExpensiveFraction, 100*report.CheapFraction,
+			report.AvgLatency, report.AvgJoinLatency)
+	}
+	if eq.IsImitationStable(inst.State, nu) {
+		fmt.Println("state is imitation-stable")
+	}
+	if inst.Oracle != nil && eq.IsNash(inst.State, inst.Oracle, 1e-9) {
+		fmt.Println("state is a Nash equilibrium")
+	}
+
+	if *csvFlag != "" {
+		f, err := os.Create(*csvFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "imitsim: close csv: %v\n", cerr)
+			}
+		}()
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trajectory written to %s\n", *csvFlag)
+	}
+	return 0
+}
+
+func buildWorkload(name string, n, m int, degree float64, seed uint64) (*workload.Instance, error) {
+	rng := prng.New(prng.Mix(seed, 0x3012))
+	switch name {
+	case "linear":
+		return workload.LinearSingletons(m, n, 4, rng)
+	case "uniform":
+		return workload.UniformSingletons(m, n, rng)
+	case "monomial":
+		return workload.MonomialSingletons(m, n, degree, 4, rng)
+	case "zero-offset":
+		return workload.ZeroOffsetSingletons(m, n, degree, 3, rng)
+	case "twolink":
+		return workload.TwoLink(n, degree, n/128+1)
+	case "lastagent":
+		return workload.LastAgent(n)
+	case "network":
+		return workload.PolyNetwork(4, 3, n, degree, 8, rng)
+	case "braess":
+		return workload.Braess(n)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func buildProtocol(inst *workload.Instance, name string, lambda float64, noNu bool) (core.Protocol, error) {
+	g := inst.Game
+	switch name {
+	case "imitation":
+		return core.NewImitation(g, core.ImitationConfig{Lambda: lambda, DisableNu: noNu})
+	case "virtual":
+		return core.NewVirtualImitation(g, core.ImitationConfig{Lambda: lambda, DisableNu: noNu})
+	case "exploration":
+		return core.NewExploration(g, core.ExplorationConfig{
+			Lambda:  lambda,
+			Sampler: core.NewRegisteredSampler(g),
+		})
+	case "combined":
+		return core.NewCombined(g, core.CombinedConfig{
+			ExploreProbability: 0.5,
+			Imitation:          core.ImitationConfig{Lambda: lambda, DisableNu: noNu},
+			Exploration: core.ExplorationConfig{
+				Lambda:  lambda,
+				Sampler: core.NewRegisteredSampler(g),
+			},
+		})
+	case "undamped":
+		return core.NewUndampedImitation(g, lambda, 0)
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}

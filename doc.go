@@ -1,0 +1,36 @@
+// Package congame is a from-scratch Go reproduction of
+//
+//	Heiner Ackermann, Petra Berenbrink, Simon Fischer, Martin Hoefer.
+//	"Concurrent Imitation Dynamics in Congestion Games." PODC 2009.
+//
+// The library implements atomic congestion games (singleton, general, and
+// network games on DAGs), the paper's concurrent IMITATION PROTOCOL and
+// EXPLORATION PROTOCOL with their overshoot-safe migration probabilities,
+// a deterministic concurrent simulation engine built on goroutines, the
+// solution concepts (imitation stability, (δ,ε,ν)-equilibria, Nash), the
+// sequential baselines the paper compares against, and an experiment suite
+// that reproduces every theorem-level claim (see DESIGN.md and
+// EXPERIMENTS.md).
+//
+// Packages:
+//
+//	internal/latency    latency functions, elasticity, slope bounds
+//	internal/game       game model, states, Rosenthal potential
+//	internal/graph      networks, path counting/sampling, Dijkstra
+//	internal/core       the protocols and the concurrent engine
+//	internal/eq         equilibrium predicates and best-response oracles
+//	internal/baseline   sequential dynamics baselines
+//	internal/threshold  Theorem 6 threshold games and MaxCut gadgets
+//	internal/opt        social optima, fractional bounds, minimum potential
+//	internal/netopt     Frank–Wolfe flows: Wardrop equilibria, system optima
+//	internal/fluid      continuous imitation ODE (Wardrop model)
+//	internal/weighted   weighted-players extension
+//	internal/workload   named instance families
+//	internal/sim        experiment registry E1–E14 and table rendering
+//	internal/stats      summary statistics and scaling fits
+//	internal/trace      trajectory recording, CSV, sparklines
+//
+// Binaries: cmd/imitsim (interactive simulator) and cmd/experiments
+// (regenerates every experiment table). Runnable examples live under
+// examples/.
+package congame

@@ -1,0 +1,68 @@
+// Braess: imitation dynamics walk straight into the Braess paradox. With
+// the shortcut closed, the balanced outer split is the equilibrium (cost
+// 1.7 per player). Opening the shortcut makes the zig-zag path dominant;
+// the imitation dynamics converge to the unique Nash where everyone pays
+// 2.05 — individual rationality degrades everyone.
+//
+//	go run ./examples/braess
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congame/internal/core"
+	"congame/internal/eq"
+	"congame/internal/trace"
+	"congame/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 400
+	inst, err := workload.Braess(n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(inst.Description)
+	fmt.Printf("start (shortcut unused): SC = %.3f per player\n", inst.State.SocialCost())
+
+	// The zig-zag path starts unused, so pure imitation could never find
+	// it (Section 6's lost-strategy effect); a little exploration lets the
+	// population discover its own downfall.
+	proto, err := core.NewCombined(inst.Game, core.CombinedConfig{
+		ExploreProbability: 0.2,
+		Imitation:          core.ImitationConfig{DisableNu: true},
+		Exploration:        core.ExplorationConfig{Sampler: core.NewRegisteredSampler(inst.Game)},
+	})
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	engine, err := core.NewEngine(inst.State, proto, core.WithSeed(17), core.WithObserver(rec))
+	if err != nil {
+		return err
+	}
+	res := engine.Run(4000, core.StopWhenNash(inst.Oracle, 1e-9))
+
+	fmt.Printf("after %d rounds (%d migrations): SC = %.3f per player\n",
+		res.Rounds, res.TotalMoves, inst.State.SocialCost())
+	fmt.Printf("path usage: top=%d bottom=%d zig-zag=%d\n",
+		inst.State.Count(0), inst.State.Count(1), inst.State.Count(2))
+	fmt.Printf("SC trajectory: %s (rising = the paradox in motion)\n",
+		trace.Sparkline(rec.AvgLatencies(), 60))
+
+	if eq.IsNash(inst.State, inst.Oracle, 1e-9) {
+		fmt.Println("final state is the Nash equilibrium — and it is worse than the start:")
+		fmt.Printf("price of the shortcut: %.0f%% cost increase\n",
+			100*(inst.State.SocialCost()/1.7-1))
+	} else {
+		fmt.Println("final state is not yet Nash (budget exhausted)")
+	}
+	return nil
+}

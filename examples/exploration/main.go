@@ -1,0 +1,112 @@
+// Exploration: demonstrates the drawback of pure imitation (lost
+// strategies, Section 6) and how the EXPLORATION PROTOCOL fixes it. All
+// players start on the worst machine; imitation can never leave it, while
+// exploration — and the combined protocol — rediscover the rest of the
+// strategy space and converge to a Nash equilibrium.
+//
+//	go run ./examples/exploration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congame/internal/core"
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/latency"
+	"congame/internal/opt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildStuckGame() (*game.Game, *game.State, error) {
+	// Machine 0 is terrible; machines 1-3 are fast — but everyone starts
+	// on machine 0, so imitation has nothing to copy.
+	fns := []float64{10, 1, 1.5, 2}
+	resources := make([]game.Resource, len(fns))
+	strategies := make([][]int, len(fns))
+	for i, a := range fns {
+		f, err := latency.NewLinear(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		resources[i] = game.Resource{Name: fmt.Sprintf("m%d", i), Latency: f}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{
+		Name:       "stuck",
+		Resources:  resources,
+		Players:    300,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, st, nil
+}
+
+func run() error {
+	protocols := []struct {
+		name  string
+		build func(g *game.Game) (core.Protocol, error)
+	}{
+		{"imitation (stuck forever)", func(g *game.Game) (core.Protocol, error) {
+			return core.NewImitation(g, core.ImitationConfig{DisableNu: true})
+		}},
+		{"exploration", func(g *game.Game) (core.Protocol, error) {
+			return core.NewExploration(g, core.ExplorationConfig{Sampler: core.NewRegisteredSampler(g)})
+		}},
+		{"combined (p_explore = 0.2)", func(g *game.Game) (core.Protocol, error) {
+			return core.NewCombined(g, core.CombinedConfig{
+				ExploreProbability: 0.2,
+				Imitation:          core.ImitationConfig{DisableNu: true},
+				Exploration:        core.ExplorationConfig{Sampler: core.NewRegisteredSampler(g)},
+			})
+		}},
+	}
+
+	for _, pc := range protocols {
+		g, st, err := buildStuckGame()
+		if err != nil {
+			return err
+		}
+		sol, err := opt.SolveSingleton(g)
+		if err != nil {
+			return err
+		}
+		proto, err := pc.build(g)
+		if err != nil {
+			return err
+		}
+		engine, err := core.NewEngine(st, proto, core.WithSeed(99))
+		if err != nil {
+			return err
+		}
+		res := engine.Run(20000, core.StopWhenNash(eq.SingletonOracle{}, 0))
+
+		fmt.Printf("%-28s rounds=%-6d nash=%-5v SC=%.2f (OPT %.2f) loads=%v\n",
+			pc.name, res.Rounds, res.Converged, st.SocialCost(), sol.Cost, loads(st))
+	}
+	fmt.Println("\nimitation never discovers machines 1-3. Exploration rediscovers them at")
+	fmt.Println("once but approaches the exact Nash equilibrium only slowly (its migration")
+	fmt.Println("probabilities must be tiny to avoid overshooting); the combined protocol")
+	fmt.Println("gets both: imitation's speed and exploration's Nash guarantee (Theorem 15).")
+	return nil
+}
+
+func loads(st *game.State) []int64 {
+	out := make([]int64, st.Game().NumResources())
+	for e := range out {
+		out[e] = st.Load(e)
+	}
+	return out
+}

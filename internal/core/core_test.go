@@ -1,0 +1,852 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/graph"
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustConstant(t *testing.T, c float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewConstant(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustMonomial(t *testing.T, a, d float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewMonomial(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func singletonGame(t *testing.T, n int, fns ...latency.Function) *game.Game {
+	t.Helper()
+	resources := make([]game.Resource, len(fns))
+	strategies := make([][]int, len(fns))
+	for i, f := range fns {
+		resources[i] = game.Resource{Latency: f}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewImitationValidation(t *testing.T) {
+	g := singletonGame(t, 4, mustLinear(t, 1), mustLinear(t, 1))
+	tests := []struct {
+		name    string
+		cfg     ImitationConfig
+		wantErr bool
+	}{
+		{name: "defaults", cfg: ImitationConfig{}, wantErr: false},
+		{name: "explicit lambda", cfg: ImitationConfig{Lambda: 0.1}, wantErr: false},
+		{name: "lambda too big", cfg: ImitationConfig{Lambda: 1.5}, wantErr: true},
+		{name: "negative lambda", cfg: ImitationConfig{Lambda: -0.1}, wantErr: true},
+		{name: "negative nu", cfg: ImitationConfig{Nu: -1}, wantErr: true},
+		{name: "nan nu", cfg: ImitationConfig{Nu: math.NaN()}, wantErr: true},
+		{name: "disable nu", cfg: ImitationConfig{DisableNu: true}, wantErr: false},
+		{name: "disable with explicit", cfg: ImitationConfig{DisableNu: true, Nu: 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewImitation(g, tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewImitation(%+v) error = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestImitationDerivedParameters(t *testing.T) {
+	g := singletonGame(t, 4, mustLinear(t, 2), mustLinear(t, 3))
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Lambda(); got != DefaultLambda {
+		t.Errorf("Lambda = %v, want default %v", got, DefaultLambda)
+	}
+	if got := im.Nu(); got != 3 { // max slope of linear functions
+		t.Errorf("Nu = %v, want 3", got)
+	}
+	disabled, err := NewImitation(g, ImitationConfig{DisableNu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := disabled.Nu(); got != 0 {
+		t.Errorf("disabled Nu = %v, want 0", got)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(workers int) []int32 {
+		g := singletonGame(t, 200, mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 3))
+		st, err := game.NewRandomState(g, prng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(g, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(st, im, WithSeed(99), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			e.Step()
+		}
+		return append([]int32(nil), st.AssignmentView()...)
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("player %d: serial strategy %d, parallel %d — engine not deterministic", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestEngineSeedSensitivity(t *testing.T) {
+	trajectory := func(seed uint64) []int32 {
+		g := singletonGame(t, 100, mustLinear(t, 1), mustLinear(t, 2))
+		st, err := game.NewRandomState(g, prng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(g, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(st, im, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			e.Step()
+		}
+		return append([]int32(nil), st.AssignmentView()...)
+	}
+	a, b := trajectory(1), trajectory(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments (suspicious)")
+	}
+}
+
+func TestEngineIncrementalPotentialMatchesRecomputation(t *testing.T) {
+	g := singletonGame(t, 300, mustLinear(t, 1), mustMonomial(t, 1, 2), mustLinear(t, 5))
+	st, err := game.NewRandomState(g, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		stats := e.Step()
+		full := st.Potential()
+		if math.Abs(stats.Potential-full) > 1e-6*(1+full) {
+			t.Fatalf("round %d: incremental Φ = %v, recomputed %v", i, stats.Potential, full)
+		}
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImitationConvergesOnIdenticalLinks(t *testing.T) {
+	// n players, 2 identical linear links: imitation-stable ⇔ |x0 − x1| ≤ 1
+	// once ν = slope is respected, and the balanced state is Nash.
+	const n = 400
+	g := singletonGame(t, n, mustLinear(t, 1), mustLinear(t, 1))
+	assign := make([]int32, n) // everyone on link 0 except one scout on 1
+	assign[0] = 1
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im, WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(5000, StopWhenImitationStable(im.Nu()))
+	if !res.Converged {
+		t.Fatalf("no convergence in 5000 rounds; final counts %d/%d", st.Count(0), st.Count(1))
+	}
+	gap := st.Count(0) - st.Count(1)
+	if gap < 0 {
+		gap = -gap
+	}
+	// ν = 1 tolerates a small residual imbalance: |x0−x1|·slope ≤ ν+2.
+	if gap > 3 {
+		t.Errorf("converged with counts %d/%d (gap %d), want near balance", st.Count(0), st.Count(1), gap)
+	}
+}
+
+func TestImitationPotentialSuperMartingale(t *testing.T) {
+	// Average ΔΦ over replications should be ≤ 0 in every early round.
+	const reps = 40
+	deltas := make([]float64, 30)
+	for rep := 0; rep < reps; rep++ {
+		g := singletonGame(t, 100, mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 4))
+		st, err := game.NewRandomState(g, prng.New(uint64(rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(g, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(st, im, WithSeed(uint64(rep)*31+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := e.Potential()
+		for i := range deltas {
+			stats := e.Step()
+			deltas[i] += stats.Potential - prev
+			prev = stats.Potential
+		}
+	}
+	for i, d := range deltas {
+		if d/reps > 1e-9 {
+			t.Errorf("round %d: mean ΔΦ = %v > 0", i, d/reps)
+		}
+	}
+}
+
+func TestImitationCannotLeaveSupport(t *testing.T) {
+	// Imitation alone never discovers unused strategies.
+	g := singletonGame(t, 50, mustLinear(t, 10), mustLinear(t, 1))
+	st, err := game.NewState(g, 0) // all on the expensive link
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(200, nil)
+	if res.TotalMoves != 0 {
+		t.Errorf("imitation moved %d players out of a single-support state", res.TotalMoves)
+	}
+	if st.Count(1) != 0 {
+		t.Error("imitation discovered an unused strategy")
+	}
+}
+
+func TestExplorationRecoversLostStrategy(t *testing.T) {
+	// Same stuck instance: exploration must find the cheap link and
+	// converge to Nash.
+	g := singletonGame(t, 50, mustLinear(t, 10), mustLinear(t, 1))
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExploration(g, ExplorationConfig{Sampler: NewRegisteredSampler(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, ex, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(20000, StopWhenNash(eq.SingletonOracle{}, 0))
+	if !res.Converged {
+		t.Fatalf("exploration did not reach Nash; counts %d/%d", st.Count(0), st.Count(1))
+	}
+	if st.Count(1) == 0 {
+		t.Error("exploration never used the cheap link")
+	}
+}
+
+func TestNewExplorationValidation(t *testing.T) {
+	g := singletonGame(t, 4, mustLinear(t, 1))
+	if _, err := NewExploration(g, ExplorationConfig{}); err == nil {
+		t.Error("missing sampler accepted")
+	}
+	if _, err := NewExploration(g, ExplorationConfig{Lambda: 2, Sampler: NewRegisteredSampler(g)}); err == nil {
+		t.Error("lambda = 2 accepted")
+	}
+}
+
+func TestExplorationFactorClamped(t *testing.T) {
+	g := singletonGame(t, 2, mustLinear(t, 1), mustLinear(t, 1))
+	ex, err := NewExploration(g, ExplorationConfig{Lambda: 1, Sampler: NewRegisteredSampler(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := ex.Factor(); f <= 0 || f > 1 {
+		t.Errorf("Factor = %v, want (0,1]", f)
+	}
+}
+
+func TestCombinedValidation(t *testing.T) {
+	g := singletonGame(t, 4, mustLinear(t, 1))
+	sampler := NewRegisteredSampler(g)
+	if _, err := NewCombined(g, CombinedConfig{ExploreProbability: 0, Exploration: ExplorationConfig{Sampler: sampler}}); err == nil {
+		t.Error("probability 0 accepted")
+	}
+	if _, err := NewCombined(g, CombinedConfig{ExploreProbability: 1.2, Exploration: ExplorationConfig{Sampler: sampler}}); err == nil {
+		t.Error("probability 1.2 accepted")
+	}
+	if _, err := NewCombined(g, CombinedConfig{ExploreProbability: 0.5}); err == nil {
+		t.Error("missing sampler accepted")
+	}
+	c, err := NewCombined(g, CombinedConfig{ExploreProbability: 0.5, Exploration: ExplorationConfig{Sampler: sampler}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "combined" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestCombinedReachesNashWhereImitationStalls(t *testing.T) {
+	g := singletonGame(t, 40, mustLinear(t, 5), mustLinear(t, 1))
+	st, err := game.NewState(g, 0) // stuck on expensive link
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCombined(g, CombinedConfig{
+		ExploreProbability: 0.5,
+		Exploration:        ExplorationConfig{Sampler: NewRegisteredSampler(g)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, c, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(20000, StopWhenNash(eq.SingletonOracle{}, 0))
+	if !res.Converged {
+		t.Fatalf("combined protocol did not reach Nash; counts %d/%d", st.Count(0), st.Count(1))
+	}
+}
+
+func TestUndampedOvershoots(t *testing.T) {
+	// Two-link instance from Section 2.3: ℓ1 = c constant, ℓ2 = x^d. Start
+	// with few players on link 2. The damped protocol approaches the
+	// balanced point monotonically in expectation; the undamped one jumps
+	// past it. We check that the undamped variant pushes link 2's latency
+	// above c at least once while the damped one stays below.
+	const n, d = 1024, 6
+	c := math.Pow(float64(n)/4, d) // balanced congestion at n/4
+	build := func() *game.State {
+		g := singletonGame(t, n, mustConstant(t, c), mustMonomial(t, 1, d))
+		assign := make([]int32, n)
+		for i := 0; i < 8; i++ {
+			assign[i] = 1 // tiny seed population on the polynomial link
+		}
+		st, err := game.NewStateFromAssignment(g, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	overshoot := func(proto func(*game.Game) Protocol) float64 {
+		st := build()
+		g := st.Game()
+		e, err := NewEngine(st, proto(g), WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := 0; i < 300; i++ {
+			e.Step()
+			if l2 := st.ResourceLatency(1); l2/c > worst {
+				worst = l2 / c
+			}
+		}
+		return worst
+	}
+
+	// Identical λ = 1 isolates the 1/d damping factor, the quantity under
+	// ablation.
+	damped := overshoot(func(g *game.Game) Protocol {
+		im, err := NewImitation(g, ImitationConfig{Lambda: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return im
+	})
+	undamped := overshoot(func(g *game.Game) Protocol {
+		u, err := NewUndampedImitation(g, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	})
+	if damped > 1.8 {
+		t.Errorf("damped protocol overshot to %.2f× the constant latency", damped)
+	}
+	if undamped < damped+0.8 {
+		t.Errorf("undamped overshoot %.2f not clearly worse than damped %.2f", undamped, damped)
+	}
+}
+
+func TestVirtualImitationEscapesCollapsedSupport(t *testing.T) {
+	// Same stuck instance as TestImitationCannotLeaveSupport: plain
+	// imitation is stuck forever, virtual agents keep the cheap link
+	// sampleable and the dynamics reach Nash.
+	g := singletonGame(t, 50, mustLinear(t, 10), mustLinear(t, 1))
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := NewVirtualImitation(g, ImitationConfig{DisableNu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, vi, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(20000, StopWhenNash(eq.SingletonOracle{}, 0))
+	if !res.Converged {
+		t.Fatalf("virtual imitation did not reach Nash; counts %d/%d", st.Count(0), st.Count(1))
+	}
+	if st.Count(1) == 0 {
+		t.Error("virtual imitation never used the cheap link")
+	}
+}
+
+func TestNewVirtualImitationValidation(t *testing.T) {
+	// n < K rejected.
+	small := singletonGame(t, 2, mustLinear(t, 1), mustLinear(t, 1), mustLinear(t, 1))
+	if _, err := NewVirtualImitation(small, ImitationConfig{}); err == nil {
+		t.Error("n < |strategies| accepted")
+	}
+	// Multi-class rejected.
+	lin := mustLinear(t, 1)
+	multi, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}},
+		Players:    4,
+		Strategies: [][]int{{0}, {1}},
+		ClassOf:    []int{0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVirtualImitation(multi, ImitationConfig{}); err == nil {
+		t.Error("multi-class game accepted")
+	}
+	// Bad lambda propagates.
+	ok := singletonGame(t, 4, mustLinear(t, 1), mustLinear(t, 1))
+	if _, err := NewVirtualImitation(ok, ImitationConfig{Lambda: 2}); err == nil {
+		t.Error("lambda 2 accepted")
+	}
+	vi, err := NewVirtualImitation(ok, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Name() != "imitation-virtual" {
+		t.Errorf("Name = %q", vi.Name())
+	}
+	if vi.Nu() != 1 {
+		t.Errorf("Nu = %v, want 1", vi.Nu())
+	}
+}
+
+func TestVirtualImitationStillConvergesNormally(t *testing.T) {
+	// On a healthy instance virtual agents behave like plain imitation.
+	g := singletonGame(t, 200, mustLinear(t, 1), mustLinear(t, 2))
+	st, err := game.NewRandomState(g, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := NewVirtualImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, vi, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(5000, StopWhenApproxEq(0.1, 0.1, vi.Nu()))
+	if !res.Converged {
+		t.Error("virtual imitation missed the approximate equilibrium")
+	}
+}
+
+func TestNewUndampedValidation(t *testing.T) {
+	g := singletonGame(t, 4, mustLinear(t, 1))
+	if _, err := NewUndampedImitation(g, -1, 0); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewUndampedImitation(g, 0.5, -1); err == nil {
+		t.Error("negative nu accepted")
+	}
+}
+
+func TestNetworkSamplerExploration(t *testing.T) {
+	// Grid network game where exploration must discover paths outside the
+	// two registered ones.
+	net, err := graph.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resources := make([]game.Resource, net.G.NumEdges())
+	for i := range resources {
+		resources[i] = game.Resource{Latency: mustLinear(t, 1)}
+	}
+	paths, err := net.G.EnumeratePaths(net.S, net.T, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: 30, Strategies: paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := game.NewRandomState(g, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := NewNetworkSampler(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampler.StrategySpaceSize(); got != 6 {
+		t.Fatalf("StrategySpaceSize = %v, want 6", got)
+	}
+	ex, err := NewExploration(g, ExplorationConfig{Sampler: sampler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, ex, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumStrategies()
+	e.Run(500, nil)
+	if g.NumStrategies() <= before {
+		t.Errorf("exploration registered no new strategies (%d)", g.NumStrategies())
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRunStopsEarly(t *testing.T) {
+	g := singletonGame(t, 10, mustLinear(t, 1), mustLinear(t, 1))
+	st, err := game.NewStateFromAssignment(g, make([]int32, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single support: already imitation-stable → converged with 0 rounds.
+	res := e.Run(100, StopWhenImitationStable(0))
+	if !res.Converged || res.Rounds != 0 {
+		t.Errorf("Run = %+v, want immediate convergence", res)
+	}
+}
+
+func TestEngineRunBudgetExhausted(t *testing.T) {
+	g := singletonGame(t, 10, mustLinear(t, 1), mustLinear(t, 1))
+	st, err := game.NewRandomState(g, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(3, func(*game.State, RoundStats) bool { return false })
+	if res.Converged || res.Rounds != 3 {
+		t.Errorf("Run = %+v, want 3 rounds without convergence", res)
+	}
+}
+
+func TestStopCombinators(t *testing.T) {
+	always := func(*game.State, RoundStats) bool { return true }
+	never := func(*game.State, RoundStats) bool { return false }
+	g := singletonGame(t, 2, mustLinear(t, 1))
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RoundStats{}
+	if !StopAny(never, always)(st, r) {
+		t.Error("StopAny(never, always) = false")
+	}
+	if StopAny(never, never)(st, r) {
+		t.Error("StopAny(never, never) = true")
+	}
+	if StopAll(always, never)(st, r) {
+		t.Error("StopAll(always, never) = true")
+	}
+	if !StopAll(always, always)(st, r) {
+		t.Error("StopAll(always, always) = false")
+	}
+}
+
+func TestStopWhenQuiet(t *testing.T) {
+	cond := StopWhenQuiet(3)
+	g := singletonGame(t, 2, mustLinear(t, 1))
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := []RoundStats{
+		{Round: 0, Movers: 2},
+		{Round: 1, Movers: 0},
+		{Round: 2, Movers: 0},
+		{Round: 3, Movers: 1}, // resets
+		{Round: 4, Movers: 0},
+		{Round: 5, Movers: 0},
+		{Round: 6, Movers: 0},
+	}
+	for i, r := range rounds {
+		got := cond(st, r)
+		want := i == 6
+		if got != want {
+			t.Errorf("round %d: quiet stop = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStopWhenPotentialAtMost(t *testing.T) {
+	cond := StopWhenPotentialAtMost(10)
+	if cond(nil, RoundStats{Potential: 11}) {
+		t.Error("stopped above threshold")
+	}
+	if !cond(nil, RoundStats{Potential: 10}) {
+		t.Error("did not stop at threshold")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := singletonGame(t, 2, mustLinear(t, 1))
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(nil, nil); err == nil {
+		t.Error("nil state/protocol accepted")
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(st, nil); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := NewEngine(nil, im); err == nil {
+		t.Error("nil state accepted")
+	}
+}
+
+type countObserver struct {
+	rounds int
+}
+
+func (c *countObserver) Observe(RoundStats) { c.rounds++ }
+
+func TestEngineObserver(t *testing.T) {
+	g := singletonGame(t, 10, mustLinear(t, 1), mustLinear(t, 1))
+	st, err := game.NewRandomState(g, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countObserver{}
+	e, err := NewEngine(st, im, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(7, nil)
+	if obs.rounds != 7 {
+		t.Errorf("observer saw %d rounds, want 7", obs.rounds)
+	}
+}
+
+func TestImitationRespectsClasses(t *testing.T) {
+	// Two classes with disjoint links; class 1's links are far better, but
+	// class 0 players must never imitate class 1 players.
+	lin1 := mustLinear(t, 10)
+	lin2 := mustLinear(t, 1)
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin1}, {Latency: lin1}, {Latency: lin2}, {Latency: lin2}},
+		Players:    40,
+		Strategies: [][]int{{0}, {1}, {2}, {3}},
+		ClassOf:    classHalves(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int32, 40)
+	for i := 0; i < 20; i++ {
+		assign[i] = int32(i % 2) // class 0 on links 0,1
+	}
+	for i := 20; i < 40; i++ {
+		assign[i] = int32(2 + i%2) // class 1 on links 2,3
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100, nil)
+	if got := st.Count(2) + st.Count(3); got != 20 {
+		t.Errorf("class-1 links host %d players, want exactly the 20 class-1 players", got)
+	}
+	for p := 0; p < 20; p++ {
+		if s := st.Assign(p); s > 1 {
+			t.Fatalf("class-0 player %d ended on class-1 strategy %d", p, s)
+		}
+	}
+}
+
+func TestShockRecovery(t *testing.T) {
+	// Failure injection: run to an approximate equilibrium, then shock the
+	// system by dumping 25% of the players onto one link (a crashed
+	// upstream balancer, say). The protocol must re-converge about as fast
+	// as it converged initially — the dynamics are self-stabilizing (the
+	// convergence theorems make no assumption about the starting state).
+	g := singletonGame(t, 400, mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 3))
+	st, err := game.NewRandomState(g, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(st, im, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := StopWhenApproxEq(0.1, 0.1, im.Nu())
+	first := e.Run(2000, stop)
+	if !first.Converged {
+		t.Fatal("initial convergence failed")
+	}
+
+	// Shock: players 0..99 all crash onto link 0.
+	for p := 0; p < 100; p++ {
+		st.Move(p, 0)
+	}
+	if report, err := eq.CheckApprox(st, 0.1, 0.1, im.Nu()); err != nil || report.AtEquilibrium {
+		t.Fatalf("shock did not disturb the equilibrium (report %+v, err %v)", report, err)
+	}
+
+	second := e.Run(2000, stop)
+	if !second.Converged {
+		t.Fatal("no re-convergence after shock")
+	}
+	if second.Rounds > 10*(first.Rounds+5) {
+		t.Errorf("re-convergence took %d rounds vs %d initially", second.Rounds, first.Rounds)
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMM1LinksConverge(t *testing.T) {
+	// Queueing latencies near saturation: elasticity (hence 1/d damping)
+	// is large, so migration is cautious but convergence must still hold.
+	mm1 := func(c float64) latency.Function {
+		f, err := latency.NewMM1(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Total capacity 260 for 200 players: ~77% utilization.
+	g := singletonGame(t, 200, mm1(130), mm1(80), mm1(50))
+	stSpread, err := game.NewRandomState(g, prng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(g, ImitationConfig{DisableNu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(stSpread, im, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(20000, StopWhenApproxEq(0.1, 0.1, 0))
+	if !res.Converged {
+		t.Fatalf("MM1 game did not reach approx equilibrium (loads %d/%d/%d)",
+			stSpread.Load(0), stSpread.Load(1), stSpread.Load(2))
+	}
+	// Loads should roughly track capacities.
+	if stSpread.Load(0) <= stSpread.Load(1) || stSpread.Load(1) <= stSpread.Load(2) {
+		t.Errorf("loads %d/%d/%d do not track capacities 130/80/50",
+			stSpread.Load(0), stSpread.Load(1), stSpread.Load(2))
+	}
+}
+
+func classHalves(n int) []int {
+	out := make([]int, n)
+	for i := n / 2; i < n; i++ {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+)
+
+// RoundStats summarizes one simulation round.
+type RoundStats struct {
+	// Round is the 0-based index of the completed round.
+	Round int
+	// Movers is the number of players that migrated this round.
+	Movers int
+	// NewStrategies is the number of previously unregistered strategies
+	// discovered by exploration this round.
+	NewStrategies int
+	// Potential is the Rosenthal potential after the round (maintained
+	// incrementally).
+	Potential float64
+	// AvgLatency is L_av after the round.
+	AvgLatency float64
+	// MaxLatency is the makespan after the round.
+	MaxLatency float64
+}
+
+// RunResult summarizes a full Run.
+type RunResult struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Converged reports whether the stop condition fired (as opposed to the
+	// round budget running out).
+	Converged bool
+	// TotalMoves is the total number of migrations over all rounds.
+	TotalMoves int
+	// Final is the statistics record of the last executed round.
+	Final RoundStats
+}
+
+// RoundObserver receives per-round statistics; implemented by
+// trace.Recorder. Observers run synchronously on the engine's goroutine.
+type RoundObserver interface {
+	Observe(RoundStats)
+}
+
+// StopCondition inspects the state after each round and reports whether the
+// run should stop. Conditions must treat the state as read-only.
+type StopCondition func(st *game.State, r RoundStats) bool
+
+// Engine executes a protocol for all players concurrently, round by round.
+// Decisions are computed by a goroutine pool against the immutable
+// round-start state; migrations are applied sequentially afterwards.
+// Trajectories are deterministic in (seed, protocol, initial state)
+// regardless of GOMAXPROCS.
+type Engine struct {
+	st        *game.State
+	proto     Protocol
+	seed      uint64
+	round     int
+	workers   int
+	phi       float64
+	moves     int
+	observers []RoundObserver
+	decisions []Decision
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed sets the base random seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithWorkers fixes the number of decision goroutines (default GOMAXPROCS).
+func WithWorkers(workers int) Option {
+	return func(e *Engine) {
+		if workers > 0 {
+			e.workers = workers
+		}
+	}
+}
+
+// WithObserver registers a per-round observer (e.g. a trace recorder).
+func WithObserver(obs RoundObserver) Option {
+	return func(e *Engine) {
+		if obs != nil {
+			e.observers = append(e.observers, obs)
+		}
+	}
+}
+
+// NewEngine builds an engine over the given state and protocol.
+func NewEngine(st *game.State, proto Protocol, opts ...Option) (*Engine, error) {
+	if st == nil || proto == nil {
+		return nil, fmt.Errorf("%w: engine needs a state and a protocol", ErrInvalid)
+	}
+	e := &Engine{
+		st:        st,
+		proto:     proto,
+		seed:      1,
+		workers:   runtime.GOMAXPROCS(0),
+		phi:       st.Potential(),
+		decisions: make([]Decision, st.Game().NumPlayers()),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// State returns the engine's (live) state.
+func (e *Engine) State() *game.State { return e.st }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Potential returns the incrementally maintained Rosenthal potential.
+func (e *Engine) Potential() float64 { return e.phi }
+
+// Step executes one concurrent round: every player decides against the
+// round-start state in parallel, then all migrations are applied.
+func (e *Engine) Step() RoundStats {
+	n := e.st.Game().NumPlayers()
+
+	// Decision phase: read-only on state, parallel over players. Each
+	// worker reuses one stream object, re-seeded per player, so decisions
+	// are identical to fresh prng.Stream draws without per-player
+	// allocations.
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		stream := prng.NewReusable()
+		for p := 0; p < n; p++ {
+			e.decisions[p] = e.proto.Decide(e.st, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				stream := prng.NewReusable()
+				for p := lo; p < hi; p++ {
+					e.decisions[p] = e.proto.Decide(e.st, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Apply phase: sequential; registers newly discovered strategies.
+	movers := 0
+	newStrategies := 0
+	for p := 0; p < n; p++ {
+		d := e.decisions[p]
+		if !d.Move {
+			continue
+		}
+		to := d.To
+		if d.NewStrategy != nil {
+			id, isNew, err := e.st.Game().RegisterStrategy(d.NewStrategy)
+			if err != nil {
+				// Samplers produce valid strategies by construction; an
+				// error here is a programming bug, not an input error.
+				panic(fmt.Sprintf("core: sampled strategy failed to register: %v", err))
+			}
+			if isNew {
+				newStrategies++
+				e.st.EnsureStrategies()
+			}
+			to = id
+		}
+		if to == e.st.Assign(p) {
+			continue
+		}
+		e.phi += e.st.Move(p, to)
+		movers++
+	}
+	e.moves += movers
+
+	stats := RoundStats{
+		Round:         e.round,
+		Movers:        movers,
+		NewStrategies: newStrategies,
+		Potential:     e.phi,
+		AvgLatency:    e.st.AvgLatency(),
+		MaxLatency:    e.st.Makespan(),
+	}
+	e.round++
+	for _, obs := range e.observers {
+		obs.Observe(stats)
+	}
+	return stats
+}
+
+// Run executes rounds until the stop condition fires or maxRounds rounds
+// have been executed. A nil stop condition runs exactly maxRounds rounds.
+// The stop condition is also evaluated once before the first round, so a
+// state that is already stable reports Converged with zero rounds.
+func (e *Engine) Run(maxRounds int, stop StopCondition) RunResult {
+	if stop != nil && stop(e.st, RoundStats{Round: e.round - 1, Potential: e.phi}) {
+		return RunResult{
+			Rounds:    0,
+			Converged: true,
+			Final:     RoundStats{Round: e.round - 1, Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()},
+		}
+	}
+	var last RoundStats
+	for i := 0; i < maxRounds; i++ {
+		last = e.Step()
+		if stop != nil && stop(e.st, last) {
+			return RunResult{Rounds: i + 1, Converged: true, TotalMoves: e.moves, Final: last}
+		}
+	}
+	return RunResult{Rounds: maxRounds, Converged: false, TotalMoves: e.moves, Final: last}
+}

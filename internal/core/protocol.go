@@ -1,0 +1,469 @@
+// Package core implements the paper's primary contribution: the concurrent
+// IMITATION PROTOCOL (Protocol 1), the EXPLORATION PROTOCOL (Protocol 2),
+// their combination, and the round-based concurrent simulation engine that
+// executes them for all players in parallel.
+//
+// In every round, each player independently
+//
+//  1. samples another player (imitation) or a strategy (exploration)
+//     uniformly at random,
+//  2. computes the anticipated latency gain assuming nobody else moves, and
+//  3. migrates with a probability proportional to the relative gain, damped
+//     by 1/d (imitation, d = elasticity bound) or |P|·ℓmin/(β·n)
+//     (exploration) to prevent overshooting.
+//
+// Decisions within a round are pure functions of the round-start state and
+// a per-(seed, round, player) random stream, so the engine evaluates them
+// concurrently with goroutines and still produces bit-identical runs for a
+// fixed seed.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"congame/internal/game"
+	"congame/internal/graph"
+)
+
+// ErrInvalid reports an invalid protocol or engine configuration.
+var ErrInvalid = errors.New("core: invalid")
+
+// DefaultLambda is the default migration-probability scale λ. The analysis
+// in the paper needs a small constant (e.g. λ < 1/512 in Lemma 2's worst
+// case); in simulation λ = 1/4 is safely below the overshooting threshold
+// for the workloads in this repository and converges an order of magnitude
+// faster. All experiments expose λ.
+const DefaultLambda = 0.25
+
+// Decision is one player's resolved choice for a round.
+type Decision struct {
+	// Move reports whether the player migrates this round.
+	Move bool
+	// To is the target strategy ID. Valid when Move is true and
+	// NewStrategy is nil.
+	To int
+	// NewStrategy, if non-nil, is a freshly sampled resource set that is
+	// not yet registered with the game. The engine registers it during the
+	// sequential apply phase (registration mutates the game and must not
+	// happen concurrently).
+	NewStrategy []int
+}
+
+var stay = Decision{}
+
+// Protocol computes one player's migration decision for the current round.
+// Decide must treat st as read-only; it is called concurrently for
+// different players.
+type Protocol interface {
+	// Decide returns the player's decision given the round-start state and
+	// the player's private random stream for this round.
+	Decide(st *game.State, player int, rng *rand.Rand) Decision
+	// Name identifies the protocol in logs and tables.
+	Name() string
+}
+
+// ImitationConfig parameterizes the IMITATION PROTOCOL.
+type ImitationConfig struct {
+	// Lambda is the migration-probability scale λ ∈ (0, 1]. Zero selects
+	// DefaultLambda.
+	Lambda float64
+	// Nu overrides the minimum-gain threshold ν. NaN or negative values are
+	// rejected; zero is honoured only when DisableNu is set (otherwise zero
+	// selects the game's derived ν).
+	Nu float64
+	// DisableNu drops the ν-threshold entirely: players migrate on any
+	// positive anticipated gain. Theorem 9 shows this is safe for large
+	// singleton games; it makes imitation-stable states coincide with
+	// support-restricted Nash equilibria.
+	DisableNu bool
+}
+
+// Imitation is Protocol 1 of the paper: sample a uniformly random player of
+// the same class and adopt its strategy with probability
+// (λ/d)·(ℓ_P − ℓ_Q(x+1_Q−1_P))/ℓ_P if the gain exceeds ν.
+type Imitation struct {
+	g      *game.Game
+	lambda float64
+	nu     float64
+	d      float64
+}
+
+var _ Protocol = (*Imitation)(nil)
+
+// NewImitation validates the configuration and binds the protocol to a
+// game, deriving d (elasticity bound) and ν (slope bound) from it.
+func NewImitation(g *game.Game, cfg ImitationConfig) (*Imitation, error) {
+	lambda, err := resolveLambda(cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	nu := 0.0
+	switch {
+	case cfg.DisableNu:
+		if cfg.Nu != 0 {
+			return nil, fmt.Errorf("%w: DisableNu with explicit Nu=%v", ErrInvalid, cfg.Nu)
+		}
+	case cfg.Nu < 0 || cfg.Nu != cfg.Nu: // negative or NaN
+		return nil, fmt.Errorf("%w: Nu = %v", ErrInvalid, cfg.Nu)
+	case cfg.Nu > 0:
+		nu = cfg.Nu
+	default:
+		nu = g.Nu()
+	}
+	return &Imitation{g: g, lambda: lambda, nu: nu, d: g.Elasticity()}, nil
+}
+
+// Nu returns the minimum-gain threshold in effect.
+func (im *Imitation) Nu() float64 { return im.nu }
+
+// Lambda returns the migration-probability scale in effect.
+func (im *Imitation) Lambda() float64 { return im.lambda }
+
+// Name implements Protocol.
+func (im *Imitation) Name() string { return "imitation" }
+
+// Decide implements Protocol.
+func (im *Imitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+	members := im.g.ClassMembers(im.g.ClassOf(player))
+	sampled := members[rng.Intn(len(members))]
+	from := st.Assign(player)
+	to := st.Assign(int(sampled))
+	if from == to {
+		return stay
+	}
+	lp := st.StrategyLatency(from)
+	lq := st.SwitchLatency(from, to)
+	gain := lp - lq
+	if gain <= im.nu || lp <= 0 {
+		return stay
+	}
+	mu := im.lambda / im.d * gain / lp
+	if rng.Float64() < mu {
+		return Decision{Move: true, To: to}
+	}
+	return stay
+}
+
+// Sampler draws strategies (resource sets) for the EXPLORATION PROTOCOL and
+// knows the size of the strategy space |P| for its damping factor.
+type Sampler interface {
+	// SampleStrategy returns a uniformly random strategy as a resource list.
+	SampleStrategy(rng *rand.Rand) []int
+	// StrategySpaceSize returns |P| as a float64 (may be +Inf-adjacent for
+	// layered networks; the damping factor is clamped at 1 anyway).
+	StrategySpaceSize() float64
+}
+
+// RegisteredSampler samples uniformly among the strategies currently
+// registered with the game. This matches the paper's setting when the full
+// strategy space was enumerated up front.
+//
+// Note: the sampled universe is read at call time, so strategies registered
+// later become sampleable in later rounds.
+type RegisteredSampler struct {
+	g *game.Game
+}
+
+var _ Sampler = (*RegisteredSampler)(nil)
+
+// NewRegisteredSampler returns a Sampler over the game's registered
+// strategies.
+func NewRegisteredSampler(g *game.Game) *RegisteredSampler {
+	return &RegisteredSampler{g: g}
+}
+
+// SampleStrategy implements Sampler.
+func (rs *RegisteredSampler) SampleStrategy(rng *rand.Rand) []int {
+	return rs.g.Strategy(rng.Intn(rs.g.NumStrategies()))
+}
+
+// StrategySpaceSize implements Sampler.
+func (rs *RegisteredSampler) StrategySpaceSize() float64 {
+	return float64(rs.g.NumStrategies())
+}
+
+// NetworkSampler samples uniformly among ALL s–t paths of a DAG network,
+// giving the EXPLORATION PROTOCOL access to the full (possibly exponential)
+// strategy space without enumerating it.
+type NetworkSampler struct {
+	ps   *graph.PathSampler
+	size float64
+}
+
+var _ Sampler = (*NetworkSampler)(nil)
+
+// NewNetworkSampler prepares uniform path sampling on the given network.
+func NewNetworkSampler(net graph.Network) (*NetworkSampler, error) {
+	ps, err := graph.NewPathSampler(net.G, net.S, net.T)
+	if err != nil {
+		return nil, err
+	}
+	size, _ := new(big.Float).SetInt(ps.NumPaths()).Float64()
+	return &NetworkSampler{ps: ps, size: size}, nil
+}
+
+// SampleStrategy implements Sampler.
+func (ns *NetworkSampler) SampleStrategy(rng *rand.Rand) []int {
+	return ns.ps.Sample(rng)
+}
+
+// StrategySpaceSize implements Sampler.
+func (ns *NetworkSampler) StrategySpaceSize() float64 { return ns.size }
+
+// ExplorationConfig parameterizes the EXPLORATION PROTOCOL.
+type ExplorationConfig struct {
+	// Lambda is the migration-probability scale λ. Zero selects
+	// DefaultLambda.
+	Lambda float64
+	// Sampler draws candidate strategies. Required.
+	Sampler Sampler
+}
+
+// Exploration is Protocol 2 of the paper: sample a strategy Q uniformly at
+// random from the strategy space and migrate with probability
+// min{1, λ·(|P|·ℓmin)/(β·n) · (ℓ_P − ℓ_Q(x+1_Q−1_P))/ℓ_P} on any positive
+// gain. Unlike imitation it is innovative — it can (re)discover unused
+// strategies — but the damping must be much stronger because the expected
+// inflow to a strategy no longer scales with its current congestion.
+type Exploration struct {
+	g       *game.Game
+	sampler Sampler
+	lambda  float64
+	factor  float64 // min{1, λ·|P|·ℓmin/(β·n)}, the gain-independent part
+}
+
+var _ Protocol = (*Exploration)(nil)
+
+// NewExploration validates the configuration and precomputes the damping
+// factor from the game's ℓmin and β.
+func NewExploration(g *game.Game, cfg ExplorationConfig) (*Exploration, error) {
+	lambda, err := resolveLambda(cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("%w: exploration requires a Sampler", ErrInvalid)
+	}
+	beta := g.MaxSlope()
+	if beta <= 0 {
+		// All-constant latency functions: any improving move is safe.
+		beta = 1
+	}
+	factor := lambda * cfg.Sampler.StrategySpaceSize() * g.MinEmptyLatency() / (beta * float64(g.NumPlayers()))
+	if factor > 1 {
+		factor = 1
+	}
+	return &Exploration{g: g, sampler: cfg.Sampler, lambda: lambda, factor: factor}, nil
+}
+
+// Name implements Protocol.
+func (ex *Exploration) Name() string { return "exploration" }
+
+// Factor returns the gain-independent damping factor
+// min{1, λ·|P|·ℓmin/(β·n)}.
+func (ex *Exploration) Factor() float64 { return ex.factor }
+
+// Decide implements Protocol.
+func (ex *Exploration) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+	strategy := ex.sampler.SampleStrategy(rng)
+	from := st.Assign(player)
+	lp := st.StrategyLatency(from)
+	lq := st.SwitchLatencyTo(from, strategy)
+	gain := lp - lq
+	if gain <= 0 || lp <= 0 {
+		return stay
+	}
+	mu := ex.factor * gain / lp
+	if mu > 1 {
+		mu = 1
+	}
+	if rng.Float64() >= mu {
+		return stay
+	}
+	// Resolve to an existing ID when possible so the apply phase can skip
+	// registration (LookupStrategy is read-only, hence decide-safe).
+	if id, ok := ex.g.LookupStrategy(strategy); ok {
+		if id == from {
+			return stay
+		}
+		return Decision{Move: true, To: id}
+	}
+	return Decision{Move: true, NewStrategy: strategy}
+}
+
+// CombinedConfig parameterizes the mixture of imitation and exploration
+// discussed in Section 6 of the paper.
+type CombinedConfig struct {
+	// ExploreProbability is the per-round probability that a player runs
+	// the EXPLORATION PROTOCOL instead of the IMITATION PROTOCOL. The
+	// paper's discussion uses 1/2; rare exploration (e.g. 0.01) keeps the
+	// fast approximate convergence of imitation while still guaranteeing
+	// Nash in the long run.
+	ExploreProbability float64
+	Imitation          ImitationConfig
+	Exploration        ExplorationConfig
+}
+
+// Combined runs IMITATION with probability 1−p and EXPLORATION with
+// probability p, per player per round. By the remark after Theorem 15, the
+// mixture converges to Nash equilibria in the long run while reaching
+// approximate equilibria essentially as fast as imitation alone.
+type Combined struct {
+	im   *Imitation
+	ex   *Exploration
+	prob float64
+}
+
+var _ Protocol = (*Combined)(nil)
+
+// NewCombined validates and builds the mixed protocol.
+func NewCombined(g *game.Game, cfg CombinedConfig) (*Combined, error) {
+	if cfg.ExploreProbability <= 0 || cfg.ExploreProbability > 1 {
+		return nil, fmt.Errorf("%w: ExploreProbability = %v, need (0,1]", ErrInvalid, cfg.ExploreProbability)
+	}
+	im, err := NewImitation(g, cfg.Imitation)
+	if err != nil {
+		return nil, fmt.Errorf("combined imitation: %w", err)
+	}
+	ex, err := NewExploration(g, cfg.Exploration)
+	if err != nil {
+		return nil, fmt.Errorf("combined exploration: %w", err)
+	}
+	return &Combined{im: im, ex: ex, prob: cfg.ExploreProbability}, nil
+}
+
+// Name implements Protocol.
+func (c *Combined) Name() string { return "combined" }
+
+// Decide implements Protocol.
+func (c *Combined) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+	if rng.Float64() < c.prob {
+		return c.ex.Decide(st, player, rng)
+	}
+	return c.im.Decide(st, player, rng)
+}
+
+// VirtualImitation is the second Nash-convergence extension discussed in
+// Section 6 of the paper: one "virtual agent" sits permanently on every
+// registered strategy, so the probability of sampling a strategy never
+// drops to zero and no strategy can go extinct. A player samples uniformly
+// from the n real players plus the K virtual agents and then applies the
+// usual imitation rule. The paper notes the analysis carries over when
+// n = Ω(K); the constructor enforces n ≥ K. Only symmetric games (one
+// class) are supported — virtual agents have no class identity.
+type VirtualImitation struct {
+	g      *game.Game
+	lambda float64
+	nu     float64
+	d      float64
+}
+
+var _ Protocol = (*VirtualImitation)(nil)
+
+// NewVirtualImitation validates the configuration. The ν threshold follows
+// the same rules as NewImitation.
+func NewVirtualImitation(g *game.Game, cfg ImitationConfig) (*VirtualImitation, error) {
+	base, err := NewImitation(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumClasses() != 1 {
+		return nil, fmt.Errorf("%w: virtual agents require a symmetric game (got %d classes)", ErrInvalid, g.NumClasses())
+	}
+	if g.NumPlayers() < g.NumStrategies() {
+		return nil, fmt.Errorf("%w: virtual agents need n ≥ |strategies| (n=%d, K=%d)", ErrInvalid, g.NumPlayers(), g.NumStrategies())
+	}
+	return &VirtualImitation{g: g, lambda: base.lambda, nu: base.nu, d: base.d}, nil
+}
+
+// Name implements Protocol.
+func (vi *VirtualImitation) Name() string { return "imitation-virtual" }
+
+// Nu returns the minimum-gain threshold in effect.
+func (vi *VirtualImitation) Nu() float64 { return vi.nu }
+
+// Decide implements Protocol.
+func (vi *VirtualImitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+	n := vi.g.NumPlayers()
+	k := vi.g.NumStrategies()
+	var to int
+	if u := rng.Intn(n + k); u < n {
+		to = st.Assign(u)
+	} else {
+		to = u - n // a virtual agent pinned to strategy u−n
+	}
+	from := st.Assign(player)
+	if from == to {
+		return stay
+	}
+	lp := st.StrategyLatency(from)
+	gain := lp - st.SwitchLatency(from, to)
+	if gain <= vi.nu || lp <= 0 {
+		return stay
+	}
+	if rng.Float64() < vi.lambda/vi.d*gain/lp {
+		return Decision{Move: true, To: to}
+	}
+	return stay
+}
+
+// UndampedImitation is the deliberately broken variant used by the
+// overshooting ablation (experiment E5): it omits the 1/d damping factor,
+// i.e. migrates with probability λ·gain/ℓ_P. On instances with high
+// elasticity it overshoots the balanced state by a factor Θ(d), which is
+// exactly what the paper's Section 2.3 example predicts.
+type UndampedImitation struct {
+	g      *game.Game
+	lambda float64
+	nu     float64
+}
+
+var _ Protocol = (*UndampedImitation)(nil)
+
+// NewUndampedImitation builds the ablation protocol.
+func NewUndampedImitation(g *game.Game, lambda, nu float64) (*UndampedImitation, error) {
+	resolved, err := resolveLambda(lambda)
+	if err != nil {
+		return nil, err
+	}
+	if nu < 0 || nu != nu {
+		return nil, fmt.Errorf("%w: nu = %v", ErrInvalid, nu)
+	}
+	return &UndampedImitation{g: g, lambda: resolved, nu: nu}, nil
+}
+
+// Name implements Protocol.
+func (u *UndampedImitation) Name() string { return "imitation-undamped" }
+
+// Decide implements Protocol.
+func (u *UndampedImitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+	members := u.g.ClassMembers(u.g.ClassOf(player))
+	sampled := members[rng.Intn(len(members))]
+	from := st.Assign(player)
+	to := st.Assign(int(sampled))
+	if from == to {
+		return stay
+	}
+	lp := st.StrategyLatency(from)
+	gain := lp - st.SwitchLatency(from, to)
+	if gain <= u.nu || lp <= 0 {
+		return stay
+	}
+	if rng.Float64() < u.lambda*gain/lp {
+		return Decision{Move: true, To: to}
+	}
+	return stay
+}
+
+func resolveLambda(lambda float64) (float64, error) {
+	if lambda == 0 {
+		return DefaultLambda, nil
+	}
+	if lambda < 0 || lambda > 1 || lambda != lambda {
+		return 0, fmt.Errorf("%w: lambda = %v, need (0,1]", ErrInvalid, lambda)
+	}
+	return lambda, nil
+}

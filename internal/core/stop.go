@@ -1,0 +1,82 @@
+package core
+
+import (
+	"congame/internal/eq"
+	"congame/internal/game"
+)
+
+// StopWhenImitationStable stops once no player could gain more than ν by
+// imitating another player — the paper's absorbing states.
+func StopWhenImitationStable(nu float64) StopCondition {
+	return func(st *game.State, _ RoundStats) bool {
+		return eq.IsImitationStable(st, nu)
+	}
+}
+
+// StopWhenApproxEq stops at the first (δ,ε,ν)-equilibrium (Definition 1).
+// Invalid parameters never stop; construct-time validation belongs to the
+// experiment harness, which calls eq.CheckApprox directly.
+func StopWhenApproxEq(delta, eps, nu float64) StopCondition {
+	return func(st *game.State, _ RoundStats) bool {
+		report, err := eq.CheckApprox(st, delta, eps, nu)
+		return err == nil && report.AtEquilibrium
+	}
+}
+
+// StopWhenNash stops once no player has an improving deviation with gain
+// above eps, as certified by the oracle.
+func StopWhenNash(oracle eq.Oracle, eps float64) StopCondition {
+	return func(st *game.State, _ RoundStats) bool {
+		return eq.IsNash(st, oracle, eps)
+	}
+}
+
+// StopWhenPotentialAtMost stops once the incrementally tracked potential
+// drops to the threshold.
+func StopWhenPotentialAtMost(phi float64) StopCondition {
+	return func(_ *game.State, r RoundStats) bool {
+		return r.Potential <= phi
+	}
+}
+
+// StopWhenQuiet stops after `rounds` consecutive rounds without any
+// migration. With ν > 0 this witnesses imitation stability only
+// probabilistically; it is a cheap proxy for huge instances.
+func StopWhenQuiet(rounds int) StopCondition {
+	quiet := 0
+	return func(_ *game.State, r RoundStats) bool {
+		if r.Round < 0 {
+			return false // pre-run probe: no migration information yet
+		}
+		if r.Movers == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		return quiet >= rounds
+	}
+}
+
+// StopAny stops as soon as any of the given conditions fires.
+func StopAny(conds ...StopCondition) StopCondition {
+	return func(st *game.State, r RoundStats) bool {
+		for _, c := range conds {
+			if c != nil && c(st, r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// StopAll stops once all of the given conditions fire simultaneously.
+func StopAll(conds ...StopCondition) StopCondition {
+	return func(st *game.State, r RoundStats) bool {
+		for _, c := range conds {
+			if c == nil || !c(st, r) {
+				return false
+			}
+		}
+		return true
+	}
+}

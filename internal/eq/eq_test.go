@@ -1,0 +1,349 @@
+package eq
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/graph"
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func singletonGame(t *testing.T, n int, slopes ...float64) *game.Game {
+	t.Helper()
+	resources := make([]game.Resource, len(slopes))
+	strategies := make([][]int, len(slopes))
+	for i, a := range slopes {
+		resources[i] = game.Resource{Latency: mustLinear(t, a)}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func state(t *testing.T, g *game.Game, assign ...int32) *game.State {
+	t.Helper()
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestIsImitationStableBalanced(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st := state(t, g, 0, 0, 1, 1) // 2-2 split on identical links: Nash
+	if !IsImitationStable(st, 0) {
+		t.Error("balanced state not imitation-stable")
+	}
+}
+
+func TestIsImitationStableUnbalanced(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st := state(t, g, 0, 0, 0, 1) // 3-1 split: moving 0→1 gains 3−2=1
+	if IsImitationStable(st, 0) {
+		t.Error("3-1 split reported stable with ν=0")
+	}
+	if !IsImitationStable(st, 1) {
+		t.Error("3-1 split not stable with ν=1 (gain is exactly 1, needs > ν)")
+	}
+}
+
+func TestIsImitationStableSingleStrategy(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st := state(t, g, 0, 0, 0, 0)
+	// All on one link: imitation cannot see link 1 at all.
+	if !IsImitationStable(st, 0) {
+		t.Error("single-support state must be imitation-stable")
+	}
+}
+
+func TestIsImitationStableClasses(t *testing.T) {
+	lin := mustLinear(t, 1)
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}},
+		Players:    4,
+		Strategies: [][]int{{0}, {1}},
+		ClassOf:    []int{0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 players on link 0 (load 3 incl. one class-1 player), class 1
+	// split. Class 0 sees only strategy 0 among its members → stable for
+	// class 0. Class 1: one on 0 (latency 3), one on 1 (latency 1);
+	// switching 0→1 gives 2 < 3, improving → unstable overall.
+	st := state(t, g, 0, 0, 0, 1)
+	if IsImitationStable(st, 0) {
+		t.Error("cross-class improving imitation not detected")
+	}
+	// Separate supports: class 0 all on 0, class 1 all on 1 → each class
+	// sees a single strategy: stable regardless of imbalance.
+	st2 := state(t, g, 0, 0, 1, 1)
+	if !IsImitationStable(st2, 0) {
+		t.Error("per-class single-support state must be stable")
+	}
+}
+
+func TestCheckApproxValidation(t *testing.T) {
+	g := singletonGame(t, 2, 1, 1)
+	st := state(t, g, 0, 1)
+	for _, bad := range []struct{ delta, eps, nu float64 }{
+		{-0.1, 0.1, 0}, {1.5, 0.1, 0}, {0.1, -1, 0}, {0.1, 0.1, -2},
+	} {
+		if _, err := CheckApprox(st, bad.delta, bad.eps, bad.nu); err == nil {
+			t.Errorf("CheckApprox(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCheckApproxBalanced(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st := state(t, g, 0, 0, 1, 1)
+	report, err := CheckApprox(st, 0, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AtEquilibrium {
+		t.Error("balanced state not at (0, 0.1, 0)-equilibrium")
+	}
+	if report.UnsatisfiedFraction() != 0 {
+		t.Errorf("unsatisfied fraction = %v, want 0", report.UnsatisfiedFraction())
+	}
+	if report.AvgLatency != 2 {
+		t.Errorf("AvgLatency = %v, want 2", report.AvgLatency)
+	}
+	if report.AvgJoinLatency != 3 {
+		t.Errorf("AvgJoinLatency = %v, want 3", report.AvgJoinLatency)
+	}
+}
+
+func TestCheckApproxDetectsExpensive(t *testing.T) {
+	// Two links: slope 1 and slope 100. One player stuck on the expensive
+	// link, nine on the cheap one.
+	g := singletonGame(t, 10, 1, 100)
+	assign := make([]int32, 10)
+	assign[9] = 1
+	st := state(t, g, assign...)
+	// ℓ_cheap = 9, ℓ_exp = 100. L_av = (9·9+100)/10 = 18.1,
+	// L⁺_av = (9·10+200)/10 = 29.
+	// ε = 0.6: upper bound 1.6·29 = 46.4 < 100 flags the expensive player;
+	// lower bound 0.4·18.1 = 7.24 < 9 leaves the cheap link satisfied.
+	report, err := CheckApprox(st, 0.05, 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AtEquilibrium {
+		t.Error("state with 10% expensive players passed δ=5% check")
+	}
+	if got, want := report.ExpensiveFraction, 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpensiveFraction = %v, want %v", got, want)
+	}
+	if report.CheapFraction != 0 {
+		t.Errorf("CheapFraction = %v, want 0", report.CheapFraction)
+	}
+	// With δ = 0.2 the same state passes.
+	report, err = CheckApprox(st, 0.2, 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AtEquilibrium {
+		t.Error("state with 10% expensive players failed δ=20% check")
+	}
+}
+
+func TestCheckApproxDetectsCheap(t *testing.T) {
+	// Many players expensive, few cheap: cheap strategies must be flagged
+	// against (1−ε)·L_av − ν.
+	g := singletonGame(t, 10, 1, 1)
+	assign := make([]int32, 10)
+	assign[0] = 1 // 1 player on link 1 (latency 1), 9 on link 0 (latency 9)
+	for i := 1; i < 10; i++ {
+		assign[i] = 0
+	}
+	st := state(t, g, assign...)
+	report, err := CheckApprox(st, 0.05, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CheapFraction != 0.1 {
+		t.Errorf("CheapFraction = %v, want 0.1", report.CheapFraction)
+	}
+	if report.AtEquilibrium {
+		t.Error("cheap outlier state passed a δ=5% check")
+	}
+}
+
+func TestEnumOracle(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st := state(t, g, 0, 0, 0, 1)
+	imp, ok := EnumOracle{}.BestResponse(st, 0, 0)
+	if !ok {
+		t.Fatal("no improvement found in 3-1 split")
+	}
+	if imp.Gain != 1 { // 3 → 2
+		t.Errorf("Gain = %v, want 1", imp.Gain)
+	}
+	if len(imp.Strategy) != 1 || imp.Strategy[0] != 1 {
+		t.Errorf("Strategy = %v, want [1]", imp.Strategy)
+	}
+	// Player on the light link has no improvement.
+	if _, ok := (EnumOracle{}).BestResponse(st, 3, 0); ok {
+		t.Error("improvement found for satisfied player")
+	}
+	// minGain filters small improvements.
+	if _, ok := (EnumOracle{}).BestResponse(st, 0, 1.0); ok {
+		t.Error("gain 1 improvement returned with minGain 1 (needs strict >)")
+	}
+}
+
+func TestSingletonOracleSeesUnregisteredResources(t *testing.T) {
+	// Game with 3 links but only 2 registered strategies.
+	lin := mustLinear(t, 1)
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}, {Latency: mustLinear(t, 0.5)}},
+		Players:    2,
+		Strategies: [][]int{{0}, {1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state(t, g, 0, 1)
+	imp, ok := SingletonOracle{}.BestResponse(st, 0, 0)
+	if !ok {
+		t.Fatal("SingletonOracle found no improvement")
+	}
+	if len(imp.Strategy) != 1 || imp.Strategy[0] != 2 {
+		t.Errorf("Strategy = %v, want [2] (the unregistered cheap link)", imp.Strategy)
+	}
+	if math.Abs(imp.Gain-0.5) > 1e-12 {
+		t.Errorf("Gain = %v, want 0.5", imp.Gain)
+	}
+	// EnumOracle cannot see resource 2.
+	if _, ok := (EnumOracle{}).BestResponse(st, 0, 0); ok {
+		t.Error("EnumOracle found improvement outside registered strategies")
+	}
+}
+
+func TestIsNash(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	balanced := state(t, g, 0, 0, 1, 1)
+	if !IsNash(balanced, EnumOracle{}, 0) {
+		t.Error("balanced state not Nash")
+	}
+	skewed := state(t, g, 0, 0, 0, 1)
+	if IsNash(skewed, EnumOracle{}, 0) {
+		t.Error("3-1 split reported Nash")
+	}
+	if !IsNash(skewed, EnumOracle{}, 1) { // gain exactly 1 ≤ eps 1
+		t.Error("3-1 split not 1-approximate Nash")
+	}
+}
+
+func TestNetworkOracle(t *testing.T) {
+	// Diamond network: s→a (e0), s→b (e1), a→t (e2), b→t (e3).
+	net, err := graph.ParallelLinks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net
+	dg, err := graph.NewDigraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := dg.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	network := graph.Network{G: dg, S: 0, T: 3}
+	lin := mustLinear(t, 1)
+	g, err := game.New(game.Config{
+		Resources: []game.Resource{
+			{Latency: lin}, {Latency: lin}, {Latency: lin}, {Latency: lin},
+		},
+		Players:    2,
+		Strategies: [][]int{{0, 2}, {1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewNetworkOracle(network)
+
+	// Both players on the top path {0,2}: latency 4 each; switching to the
+	// bottom {1,3} yields 2 → improvement of 2.
+	st := state(t, g, 0, 0)
+	imp, ok := oracle.BestResponse(st, 0, 0)
+	if !ok {
+		t.Fatal("NetworkOracle found no improvement")
+	}
+	if math.Abs(imp.Gain-2) > 1e-12 {
+		t.Errorf("Gain = %v, want 2", imp.Gain)
+	}
+	if len(imp.Strategy) != 2 || imp.Strategy[0] != 1 || imp.Strategy[1] != 3 {
+		t.Errorf("Strategy = %v, want [1 3]", imp.Strategy)
+	}
+
+	// Balanced: no improvement (own edges keep their load when re-chosen).
+	balanced := state(t, g, 0, 1)
+	if _, ok := oracle.BestResponse(balanced, 0, 0); ok {
+		t.Error("NetworkOracle found improvement in balanced diamond")
+	}
+	if !IsNash(balanced, oracle, 0) {
+		t.Error("balanced diamond not Nash under NetworkOracle")
+	}
+}
+
+func TestNetworkOracleMatchesEnumOnRandomStates(t *testing.T) {
+	rng := prng.New(21)
+	net, err := graph.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := net.G.EnumeratePaths(net.S, net.T, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resources := make([]game.Resource, net.G.NumEdges())
+	for i := range resources {
+		f, err := latency.NewAffine(1+rng.Float64()*3, rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[i] = game.Resource{Latency: f}
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: 6, Strategies: paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewNetworkOracle(net)
+	for trial := 0; trial < 25; trial++ {
+		st, err := game.NewRandomState(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 6; p++ {
+			enumImp, enumOK := EnumOracle{}.BestResponse(st, p, 0)
+			netImp, netOK := oracle.BestResponse(st, p, 0)
+			if enumOK != netOK {
+				t.Fatalf("trial %d player %d: enum ok=%v, network ok=%v", trial, p, enumOK, netOK)
+			}
+			if enumOK && math.Abs(enumImp.Gain-netImp.Gain) > 1e-9 {
+				t.Fatalf("trial %d player %d: enum gain %v, network gain %v", trial, p, enumImp.Gain, netImp.Gain)
+			}
+		}
+	}
+}

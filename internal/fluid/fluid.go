@@ -1,0 +1,255 @@
+// Package fluid implements the continuous (Wardrop) counterpart of the
+// IMITATION PROTOCOL: the mean-field ordinary differential equation that
+// the concurrent dynamics follow as n → ∞. The paper's Section 1.2 cites
+// Fischer, Räcke, Vöcking (STOC 2006) for this model — "in contrast to our
+// work the analysis of the continuous model does not have to take into
+// account probabilistic effects". Simulating both lets us measure exactly
+// those probabilistic effects: the atomic trajectories converge to the
+// fluid trajectory as n grows (experiment E11).
+//
+// The model is a singleton game with unit population mass: state y lies in
+// the simplex, y_e is the mass on link e, and link latencies are evaluated
+// at y_e ∈ [0, 1]. One protocol round corresponds to Δt = 1. The expected
+// per-round motion of the atomic protocol is
+//
+//	ẏ_P = (λ/d) · y_P · [ Σ_{Q:ℓ_Q>ℓ_P} y_Q·(ℓ_Q−ℓ_P)/ℓ_Q
+//	                     − Σ_{Q:ℓ_Q<ℓ_P} y_Q·(ℓ_P−ℓ_Q)/ℓ_P ],
+//
+// an imitation/replicator-style dynamic whose rest points on the support
+// are exactly the Wardrop equilibria (all used links share one latency).
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"congame/internal/latency"
+)
+
+// ErrInvalid reports an invalid fluid-model construction or query.
+var ErrInvalid = errors.New("fluid: invalid")
+
+// System is a continuous imitation dynamic over parallel links.
+type System struct {
+	fns    []latency.Function
+	lambda float64
+	d      float64
+}
+
+// NewSystem builds a fluid system over the given link latencies (evaluated
+// on [0,1]). lambda is the protocol's migration scale; the elasticity
+// damping d is derived from the functions over (0,1], floored at 1.
+func NewSystem(fns []latency.Function, lambda float64) (*System, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("%w: no links", ErrInvalid)
+	}
+	for i, f := range fns {
+		if f == nil {
+			return nil, fmt.Errorf("%w: link %d has nil latency", ErrInvalid, i)
+		}
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("%w: lambda = %v, need (0,1]", ErrInvalid, lambda)
+	}
+	return &System{
+		fns:    append([]latency.Function(nil), fns...),
+		lambda: lambda,
+		d:      latency.ProtocolElasticity(fns, 1),
+	}, nil
+}
+
+// NumLinks returns the number of links.
+func (s *System) NumLinks() int { return len(s.fns) }
+
+// Elasticity returns the derived damping bound d.
+func (s *System) Elasticity() float64 { return s.d }
+
+// Derivative writes ẏ into dy for the given state y (no aliasing checks;
+// dy must have the same length as y).
+func (s *System) Derivative(y, dy []float64) error {
+	if len(y) != len(s.fns) || len(dy) != len(s.fns) {
+		return fmt.Errorf("%w: state dimension %d, want %d", ErrInvalid, len(y), len(s.fns))
+	}
+	lat := make([]float64, len(y))
+	for e := range y {
+		lat[e] = s.fns[e].Value(y[e])
+	}
+	scale := s.lambda / s.d
+	for p := range y {
+		rate := 0.0
+		for q := range y {
+			if q == p || y[q] == 0 {
+				continue
+			}
+			switch {
+			case lat[q] > lat[p] && lat[q] > 0:
+				// Mass on Q samples P and migrates towards P.
+				rate += y[q] * (lat[q] - lat[p]) / lat[q]
+			case lat[q] < lat[p] && lat[p] > 0:
+				// Mass on P samples Q and leaves P.
+				rate -= y[q] * (lat[p] - lat[q]) / lat[p]
+			}
+		}
+		dy[p] = scale * y[p] * rate
+	}
+	return nil
+}
+
+// Step advances the state in place by dt using classic RK4 and re-projects
+// tiny negative drift back onto the simplex.
+func (s *System) Step(y []float64, dt float64) error {
+	n := len(y)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+
+	if err := s.Derivative(y, k1); err != nil {
+		return err
+	}
+	for i := range tmp {
+		tmp[i] = y[i] + dt/2*k1[i]
+	}
+	if err := s.Derivative(tmp, k2); err != nil {
+		return err
+	}
+	for i := range tmp {
+		tmp[i] = y[i] + dt/2*k2[i]
+	}
+	if err := s.Derivative(tmp, k3); err != nil {
+		return err
+	}
+	for i := range tmp {
+		tmp[i] = y[i] + dt*k3[i]
+	}
+	if err := s.Derivative(tmp, k4); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		if y[i] < 0 {
+			y[i] = 0
+		}
+	}
+	// Renormalize accumulated floating-point drift.
+	total := 0.0
+	for _, v := range y {
+		total += v
+	}
+	if total > 0 {
+		for i := range y {
+			y[i] /= total
+		}
+	}
+	return nil
+}
+
+// Run integrates from y0 for the given number of unit-time rounds with
+// `substeps` RK4 steps per round, returning the trajectory of states
+// (round 0 = initial copy).
+func (s *System) Run(y0 []float64, rounds, substeps int) ([][]float64, error) {
+	if err := s.validState(y0); err != nil {
+		return nil, err
+	}
+	if rounds < 0 || substeps < 1 {
+		return nil, fmt.Errorf("%w: rounds=%d substeps=%d", ErrInvalid, rounds, substeps)
+	}
+	y := append([]float64(nil), y0...)
+	out := make([][]float64, 0, rounds+1)
+	out = append(out, append([]float64(nil), y...))
+	dt := 1.0 / float64(substeps)
+	for r := 0; r < rounds; r++ {
+		for s2 := 0; s2 < substeps; s2++ {
+			if err := s.Step(y, dt); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, append([]float64(nil), y...))
+	}
+	return out, nil
+}
+
+// AvgLatency returns L_av(y) = Σ_e y_e·ℓ_e(y_e).
+func (s *System) AvgLatency(y []float64) float64 {
+	sum := 0.0
+	for e, v := range y {
+		if v > 0 {
+			sum += v * s.fns[e].Value(v)
+		}
+	}
+	return sum
+}
+
+// Potential returns the continuous Rosenthal potential
+// Φ(y) = Σ_e ∫₀^{y_e} ℓ_e(u) du, computed with Simpson's rule (129 nodes
+// per link — plenty for the smooth functions in this repository).
+func (s *System) Potential(y []float64) float64 {
+	sum := 0.0
+	for e, v := range y {
+		if v > 0 {
+			sum += simpson(s.fns[e].Value, 0, v, 128)
+		}
+	}
+	return sum
+}
+
+// IsWardrop reports whether all links carrying at least `tol` mass have
+// latencies within `tol` of each other and no unused link is strictly
+// cheaper (the Wardrop equilibrium conditions).
+func (s *System) IsWardrop(y []float64, tol float64) bool {
+	minUsed := math.Inf(1)
+	maxUsed := math.Inf(-1)
+	for e, v := range y {
+		if v > tol {
+			l := s.fns[e].Value(v)
+			minUsed = math.Min(minUsed, l)
+			maxUsed = math.Max(maxUsed, l)
+		}
+	}
+	if maxUsed-minUsed > tol*math.Max(1, maxUsed) {
+		return false
+	}
+	for e, v := range y {
+		if v <= tol && s.fns[e].Value(0) < minUsed-tol*math.Max(1, minUsed) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) validState(y []float64) error {
+	if len(y) != len(s.fns) {
+		return fmt.Errorf("%w: state dimension %d, want %d", ErrInvalid, len(y), len(s.fns))
+	}
+	total := 0.0
+	for e, v := range y {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: y[%d] = %v", ErrInvalid, e, v)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("%w: state mass %v, want 1", ErrInvalid, total)
+	}
+	return nil
+}
+
+// simpson integrates f over [a,b] with n even subintervals.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}

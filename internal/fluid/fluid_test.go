@@ -1,0 +1,215 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/latency"
+)
+
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustMonomial(t *testing.T, a, d float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewMonomial(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func twoLinkSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem([]latency.Function{mustLinear(t, 1), mustLinear(t, 3)}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	lin := mustLinear(t, 1)
+	if _, err := NewSystem(nil, 0.25); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := NewSystem([]latency.Function{nil}, 0.25); err == nil {
+		t.Error("nil latency accepted")
+	}
+	if _, err := NewSystem([]latency.Function{lin}, 0); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+	if _, err := NewSystem([]latency.Function{lin}, 1.5); err == nil {
+		t.Error("lambda 1.5 accepted")
+	}
+}
+
+func TestElasticityDerived(t *testing.T) {
+	s, err := NewSystem([]latency.Function{mustMonomial(t, 1, 3)}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Elasticity(); got != 3 {
+		t.Errorf("Elasticity = %v, want 3", got)
+	}
+}
+
+func TestDerivativeMassConservation(t *testing.T) {
+	s := twoLinkSystem(t)
+	y := []float64{0.7, 0.3}
+	dy := make([]float64, 2)
+	if err := s.Derivative(y, dy); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dy[0]+dy[1]) > 1e-12 {
+		t.Errorf("Σẏ = %v, want 0", dy[0]+dy[1])
+	}
+	// Link 0 (ℓ=0.7) vs link 1 (ℓ=0.9): mass should flow 1 → 0.
+	if dy[0] <= 0 {
+		t.Errorf("ẏ₀ = %v, want > 0 (cheaper link gains mass)", dy[0])
+	}
+}
+
+func TestDerivativeDimensionCheck(t *testing.T) {
+	s := twoLinkSystem(t)
+	if err := s.Derivative([]float64{1}, []float64{0}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFixedPointAtWardrop(t *testing.T) {
+	// ℓ₀ = y, ℓ₁ = 3y: Wardrop splits mass so y₀ = 3y₁ → y = (0.75, 0.25).
+	s := twoLinkSystem(t)
+	y := []float64{0.75, 0.25}
+	dy := make([]float64, 2)
+	if err := s.Derivative(y, dy); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dy {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("ẏ[%d] = %v at Wardrop equilibrium, want 0", i, v)
+		}
+	}
+	if !s.IsWardrop(y, 1e-9) {
+		t.Error("IsWardrop rejects the equilibrium")
+	}
+}
+
+func TestRunConvergesToWardrop(t *testing.T) {
+	s := twoLinkSystem(t)
+	traj, err := s.Run([]float64{0.2, 0.8}, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traj[len(traj)-1]
+	if math.Abs(final[0]-0.75) > 0.01 || math.Abs(final[1]-0.25) > 0.01 {
+		t.Errorf("final state = %v, want ≈ [0.75 0.25]", final)
+	}
+	if !s.IsWardrop(final, 0.02) {
+		t.Error("final state not recognized as Wardrop")
+	}
+}
+
+func TestPotentialDecreasesAlongTrajectory(t *testing.T) {
+	s, err := NewSystem([]latency.Function{
+		mustLinear(t, 1), mustMonomial(t, 2, 2), mustLinear(t, 5),
+	}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := s.Run([]float64{0.1, 0.1, 0.8}, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for i, y := range traj {
+		phi := s.Potential(y)
+		if phi > prev+1e-9 {
+			t.Fatalf("round %d: Φ rose from %v to %v", i, prev, phi)
+		}
+		prev = phi
+	}
+}
+
+func TestRunPreservesSimplex(t *testing.T) {
+	s := twoLinkSystem(t)
+	traj, err := s.Run([]float64{0.5, 0.5}, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range traj {
+		total := 0.0
+		for _, v := range y {
+			if v < 0 {
+				t.Fatalf("round %d: negative mass %v", i, v)
+			}
+			total += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("round %d: mass %v", i, total)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := twoLinkSystem(t)
+	if _, err := s.Run([]float64{0.5, 0.6}, 10, 2); err == nil {
+		t.Error("non-simplex start accepted")
+	}
+	if _, err := s.Run([]float64{0.5, 0.5}, -1, 2); err == nil {
+		t.Error("negative rounds accepted")
+	}
+	if _, err := s.Run([]float64{0.5, 0.5}, 10, 0); err == nil {
+		t.Error("zero substeps accepted")
+	}
+	if _, err := s.Run([]float64{1}, 10, 1); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestAvgLatency(t *testing.T) {
+	s := twoLinkSystem(t)
+	// y = (0.5, 0.5): L_av = 0.5·0.5 + 0.5·1.5 = 1.0.
+	if got := s.AvgLatency([]float64{0.5, 0.5}); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AvgLatency = %v, want 1.0", got)
+	}
+}
+
+func TestPotentialClosedForm(t *testing.T) {
+	// Φ for linear a·y is a·y²/2.
+	s := twoLinkSystem(t)
+	y := []float64{0.6, 0.4}
+	want := 1*0.36/2 + 3*0.16/2
+	if got := s.Potential(y); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Potential = %v, want %v", got, want)
+	}
+}
+
+func TestIsWardropRejectsCheaperUnusedLink(t *testing.T) {
+	// A constant cheap link that carries no mass violates Wardrop.
+	cheap, err := latency.NewConstant(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem([]latency.Function{mustLinear(t, 1), cheap}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsWardrop([]float64{1, 0}, 1e-6) {
+		t.Error("state with strictly cheaper unused link accepted as Wardrop")
+	}
+}
+
+func TestSimpsonAccuracy(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3.
+	got := simpson(func(x float64) float64 { return x * x }, 0, 1, 128)
+	if math.Abs(got-1.0/3) > 1e-10 {
+		t.Errorf("simpson = %v, want 1/3", got)
+	}
+}

@@ -1,0 +1,356 @@
+// Package game implements the core model of atomic congestion games from
+// Ackermann, Berenbrink, Fischer, Hoefer, "Concurrent Imitation Dynamics in
+// Congestion Games" (PODC 2009): resources with load-dependent latency
+// functions, interned strategies (sets of resources), player assignment
+// states, and the Rosenthal potential.
+//
+// Strategies are interned: the game tracks only the strategies that have
+// been registered (initially the support of the starting state, plus any
+// strategies discovered later by exploration). Imitation dynamics never
+// need the full strategy space — which may be exponential for network
+// games — so all state is proportional to the support size.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"congame/internal/latency"
+)
+
+// ErrInvalid reports an invalid game construction or operation.
+var ErrInvalid = errors.New("game: invalid")
+
+// Resource is a congestible resource (an edge in the network view) with a
+// non-decreasing latency function.
+type Resource struct {
+	// Name identifies the resource in logs and tables. Optional.
+	Name string
+	// Latency maps congestion to latency; must satisfy the paper's
+	// assumptions (non-decreasing, positive for positive load).
+	Latency latency.Function
+}
+
+// Game is a symmetric atomic congestion game: n players, m resources, and a
+// registry of interned strategies (each a non-empty sorted set of resource
+// indices). Optional player classes restrict imitation sampling to players
+// of the same class, which models the asymmetric extension mentioned at the
+// end of Section 3.1 of the paper.
+//
+// A Game is immutable after construction except for strategy registration,
+// which is append-only. It is safe for concurrent readers as long as no
+// RegisterStrategy call is in flight; the simulation engine serializes
+// registration between rounds.
+type Game struct {
+	name      string
+	resources []Resource
+	n         int
+
+	strategies [][]int32      // interned sorted resource lists
+	stratKeys  map[string]int // dedupe key -> strategy id
+	stratNu    []float64      // ν_P per strategy
+
+	classOf      []int32 // player -> class (all zero for symmetric games)
+	classMembers [][]int32
+	numClasses   int
+
+	elasticity float64 // protocol damping bound d ≥ 1
+	slopeLoad  int     // ⌈d⌉, the load range for ν
+}
+
+// Config describes a game to construct.
+type Config struct {
+	// Name labels the game in logs and tables. Optional.
+	Name string
+	// Resources is the resource set; must be non-empty.
+	Resources []Resource
+	// Players is the number of players n; must be positive.
+	Players int
+	// Strategies is the initial strategy universe to register. Each entry
+	// is a non-empty list of resource indices (duplicates within an entry
+	// are rejected). At least one strategy is required.
+	Strategies [][]int
+	// ClassOf optionally assigns each player to a class for the asymmetric
+	// extension: players only imitate members of their own class. If nil,
+	// all players form a single class. Class IDs must be dense in [0, C).
+	ClassOf []int
+	// Elasticity overrides the automatically derived damping bound d. Zero
+	// means derive it from the latency functions (floored at 1).
+	Elasticity float64
+}
+
+// New constructs a game and derives the protocol parameters d (elasticity
+// bound) and ν_P (per-strategy slope bound).
+func New(cfg Config) (*Game, error) {
+	if cfg.Players <= 0 {
+		return nil, fmt.Errorf("%w: players = %d, need > 0", ErrInvalid, cfg.Players)
+	}
+	if len(cfg.Resources) == 0 {
+		return nil, fmt.Errorf("%w: no resources", ErrInvalid)
+	}
+	for i, r := range cfg.Resources {
+		if r.Latency == nil {
+			return nil, fmt.Errorf("%w: resource %d has nil latency function", ErrInvalid, i)
+		}
+	}
+	if len(cfg.Strategies) == 0 {
+		return nil, fmt.Errorf("%w: no strategies", ErrInvalid)
+	}
+
+	g := &Game{
+		name:      cfg.Name,
+		resources: append([]Resource(nil), cfg.Resources...),
+		n:         cfg.Players,
+		stratKeys: make(map[string]int, len(cfg.Strategies)),
+	}
+
+	if err := g.initClasses(cfg.ClassOf); err != nil {
+		return nil, err
+	}
+
+	fns := make([]latency.Function, len(g.resources))
+	for i, r := range g.resources {
+		fns[i] = r.Latency
+	}
+	if cfg.Elasticity > 0 {
+		g.elasticity = cfg.Elasticity
+	} else {
+		g.elasticity = latency.ProtocolElasticity(fns, float64(cfg.Players))
+	}
+	g.slopeLoad = int(g.elasticity)
+	if float64(g.slopeLoad) < g.elasticity {
+		g.slopeLoad++
+	}
+	if g.slopeLoad < 1 {
+		g.slopeLoad = 1
+	}
+	// Congestion never exceeds n, so ν need not look past load n even when
+	// the elasticity bound is huge (steep functions near zero load).
+	if g.slopeLoad > g.n {
+		g.slopeLoad = g.n
+	}
+
+	for i, s := range cfg.Strategies {
+		if _, _, err := g.RegisterStrategy(s); err != nil {
+			return nil, fmt.Errorf("strategy %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+func (g *Game) initClasses(classOf []int) error {
+	if classOf == nil {
+		g.classOf = make([]int32, g.n)
+		members := make([]int32, g.n)
+		for i := range members {
+			members[i] = int32(i)
+		}
+		g.classMembers = [][]int32{members}
+		g.numClasses = 1
+		return nil
+	}
+	if len(classOf) != g.n {
+		return fmt.Errorf("%w: ClassOf has %d entries, want %d", ErrInvalid, len(classOf), g.n)
+	}
+	maxClass := 0
+	for p, c := range classOf {
+		if c < 0 {
+			return fmt.Errorf("%w: player %d has negative class %d", ErrInvalid, p, c)
+		}
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	g.numClasses = maxClass + 1
+	g.classOf = make([]int32, g.n)
+	g.classMembers = make([][]int32, g.numClasses)
+	for p, c := range classOf {
+		g.classOf[p] = int32(c)
+		g.classMembers[c] = append(g.classMembers[c], int32(p))
+	}
+	for c, members := range g.classMembers {
+		if len(members) == 0 {
+			return fmt.Errorf("%w: class %d has no players (class IDs must be dense)", ErrInvalid, c)
+		}
+	}
+	return nil
+}
+
+// RegisterStrategy interns a strategy (a set of resource indices) and
+// returns its ID. Registering an already-known strategy returns the
+// existing ID with isNew=false. The input is copied and canonicalized
+// (sorted); duplicate resources within the strategy are rejected.
+func (g *Game) RegisterStrategy(resources []int) (id int, isNew bool, err error) {
+	if len(resources) == 0 {
+		return 0, false, fmt.Errorf("%w: empty strategy", ErrInvalid)
+	}
+	s := make([]int32, len(resources))
+	for i, r := range resources {
+		if r < 0 || r >= len(g.resources) {
+			return 0, false, fmt.Errorf("%w: strategy references resource %d, have %d resources", ErrInvalid, r, len(g.resources))
+		}
+		s[i] = int32(r)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return 0, false, fmt.Errorf("%w: strategy contains resource %d twice", ErrInvalid, s[i])
+		}
+	}
+	key := strategyKey(s)
+	if id, ok := g.stratKeys[key]; ok {
+		return id, false, nil
+	}
+	id = len(g.strategies)
+	g.strategies = append(g.strategies, s)
+	g.stratKeys[key] = id
+	nu := 0.0
+	for _, e := range s {
+		nu += latency.SlopeBound(g.resources[e].Latency, g.slopeLoad)
+	}
+	g.stratNu = append(g.stratNu, nu)
+	return id, true, nil
+}
+
+func strategyKey(s []int32) string {
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(r)))
+	}
+	return b.String()
+}
+
+// Name returns the game's label.
+func (g *Game) Name() string { return g.name }
+
+// NumPlayers returns n.
+func (g *Game) NumPlayers() int { return g.n }
+
+// NumResources returns m.
+func (g *Game) NumResources() int { return len(g.resources) }
+
+// NumStrategies returns the number of registered strategies.
+func (g *Game) NumStrategies() int { return len(g.strategies) }
+
+// Resource returns the resource with the given index.
+func (g *Game) Resource(e int) Resource { return g.resources[e] }
+
+// Strategy returns a copy of the resource list of the given strategy.
+func (g *Game) Strategy(s int) []int {
+	view := g.strategies[s]
+	out := make([]int, len(view))
+	for i, r := range view {
+		out[i] = int(r)
+	}
+	return out
+}
+
+// StrategyView returns the interned, sorted resource list of the given
+// strategy. Callers must not modify the returned slice.
+func (g *Game) StrategyView(s int) []int32 { return g.strategies[s] }
+
+// LookupStrategy returns the ID of an already-registered strategy, or
+// (-1, false) if the given resource set is not registered. The input need
+// not be sorted.
+func (g *Game) LookupStrategy(resources []int) (int, bool) {
+	s := make([]int32, len(resources))
+	for i, r := range resources {
+		if r < 0 || r >= len(g.resources) {
+			return -1, false
+		}
+		s[i] = int32(r)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	id, ok := g.stratKeys[strategyKey(s)]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// Elasticity returns the protocol damping bound d ≥ 1.
+func (g *Game) Elasticity() float64 { return g.elasticity }
+
+// SlopeLoad returns ⌈d⌉, the load range over which ν is computed.
+func (g *Game) SlopeLoad() int { return g.slopeLoad }
+
+// NuOf returns ν_P for the given strategy: the sum over its resources of the
+// per-resource slope bounds ν_e.
+func (g *Game) NuOf(s int) float64 { return g.stratNu[s] }
+
+// Nu returns ν = max over registered strategies P of ν_P: the minimum-gain
+// threshold of the IMITATION PROTOCOL.
+func (g *Game) Nu() float64 {
+	best := 0.0
+	for _, nu := range g.stratNu {
+		if nu > best {
+			best = nu
+		}
+	}
+	return best
+}
+
+// MinEmptyLatency returns ℓmin = min_e ℓ_e(1), the minimum latency of an
+// almost-empty resource, used by the EXPLORATION PROTOCOL's damping factor.
+func (g *Game) MinEmptyLatency() float64 {
+	best := g.resources[0].Latency.Value(1)
+	for _, r := range g.resources[1:] {
+		if v := r.Latency.Value(1); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxSlope returns β, an upper bound on the maximum one-player latency step
+// max_e max_{x∈{1..n}} ℓ_e(x)−ℓ_e(x−1), used by the EXPLORATION PROTOCOL.
+func (g *Game) MaxSlope() float64 {
+	fns := make([]latency.Function, len(g.resources))
+	for i, r := range g.resources {
+		fns[i] = r.Latency
+	}
+	return latency.MaxSlopeBound(fns, g.n)
+}
+
+// MaxStrategyLatency returns an upper bound on ℓmax = max_x max_P ℓ_P(x)
+// over registered strategies: every resource at full congestion n.
+func (g *Game) MaxStrategyLatency() float64 {
+	best := 0.0
+	for _, s := range g.strategies {
+		sum := 0.0
+		for _, e := range s {
+			sum += g.resources[e].Latency.Value(float64(g.n))
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of player classes (1 for symmetric games).
+func (g *Game) NumClasses() int { return g.numClasses }
+
+// ClassOf returns the class of the given player.
+func (g *Game) ClassOf(p int) int { return int(g.classOf[p]) }
+
+// ClassMembers returns the players in the given class. Callers must not
+// modify the returned slice.
+func (g *Game) ClassMembers(c int) []int32 { return g.classMembers[c] }
+
+// IsSingleton reports whether every registered strategy consists of exactly
+// one resource (the parallel-links games of Section 5).
+func (g *Game) IsSingleton() bool {
+	for _, s := range g.strategies {
+		if len(s) != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,550 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// mustLinear returns ℓ(x) = a·x or fails the test.
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// mustMonomial returns ℓ(x) = a·x^d or fails the test.
+func mustMonomial(t *testing.T, a, d float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewMonomial(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// singletonGame builds a parallel-links game with the given latency slopes.
+func singletonGame(t *testing.T, n int, slopes ...float64) *Game {
+	t.Helper()
+	resources := make([]Resource, len(slopes))
+	strategies := make([][]int, len(slopes))
+	for i, a := range slopes {
+		resources[i] = Resource{Name: "link", Latency: mustLinear(t, a)}
+		strategies[i] = []int{i}
+	}
+	g, err := New(Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pathGame builds the 3-resource, 2-path game used in several tests:
+// path A = {0,1}, path B = {1,2}; resource 1 is shared.
+func pathGame(t *testing.T, n int) *Game {
+	t.Helper()
+	g, err := New(Config{
+		Resources: []Resource{
+			{Latency: mustLinear(t, 1)},
+			{Latency: mustLinear(t, 2)},
+			{Latency: mustMonomial(t, 1, 2)},
+		},
+		Players:    n,
+		Strategies: [][]int{{0, 1}, {1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	lin := mustLinear(t, 1)
+	valid := Config{
+		Resources:  []Resource{{Latency: lin}},
+		Players:    2,
+		Strategies: [][]int{{0}},
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero players", mutate: func(c *Config) { c.Players = 0 }},
+		{name: "negative players", mutate: func(c *Config) { c.Players = -1 }},
+		{name: "no resources", mutate: func(c *Config) { c.Resources = nil }},
+		{name: "nil latency", mutate: func(c *Config) { c.Resources = []Resource{{}} }},
+		{name: "no strategies", mutate: func(c *Config) { c.Strategies = nil }},
+		{name: "empty strategy", mutate: func(c *Config) { c.Strategies = [][]int{{}} }},
+		{name: "resource out of range", mutate: func(c *Config) { c.Strategies = [][]int{{3}} }},
+		{name: "duplicate resource", mutate: func(c *Config) { c.Strategies = [][]int{{0, 0}} }},
+		{name: "short ClassOf", mutate: func(c *Config) { c.ClassOf = []int{0} }},
+		{name: "negative class", mutate: func(c *Config) { c.ClassOf = []int{0, -1} }},
+		{name: "sparse classes", mutate: func(c *Config) { c.ClassOf = []int{0, 2} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("New succeeded, want error")
+			} else if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error %v is not ErrInvalid", err)
+			}
+		})
+	}
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestStrategyInterning(t *testing.T) {
+	g := pathGame(t, 4)
+	if got := g.NumStrategies(); got != 2 {
+		t.Fatalf("NumStrategies = %d, want 2", got)
+	}
+	// Same set, different order: not new.
+	id, isNew, err := g.RegisterStrategy([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isNew || id != 0 {
+		t.Errorf("RegisterStrategy({1,0}) = (%d,%v), want (0,false)", id, isNew)
+	}
+	// Genuinely new.
+	id, isNew, err = g.RegisterStrategy([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isNew || id != 2 {
+		t.Errorf("RegisterStrategy({0,2}) = (%d,%v), want (2,true)", id, isNew)
+	}
+	if got, ok := g.LookupStrategy([]int{2, 0}); !ok || got != 2 {
+		t.Errorf("LookupStrategy({2,0}) = (%d,%v), want (2,true)", got, ok)
+	}
+	if _, ok := g.LookupStrategy([]int{0}); ok {
+		t.Error("LookupStrategy({0}) found unregistered strategy")
+	}
+}
+
+func TestElasticityDerivation(t *testing.T) {
+	g := pathGame(t, 10) // max elasticity: x² → 2
+	if got := g.Elasticity(); got != 2 {
+		t.Errorf("Elasticity = %v, want 2", got)
+	}
+	if got := g.SlopeLoad(); got != 2 {
+		t.Errorf("SlopeLoad = %d, want 2", got)
+	}
+	lin := singletonGame(t, 10, 1, 2) // linear → d = 1
+	if got := lin.Elasticity(); got != 1 {
+		t.Errorf("linear game Elasticity = %v, want 1", got)
+	}
+}
+
+func TestElasticityOverride(t *testing.T) {
+	lin := mustLinear(t, 1)
+	g, err := New(Config{
+		Resources:  []Resource{{Latency: lin}},
+		Players:    2,
+		Strategies: [][]int{{0}},
+		Elasticity: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Elasticity(); got != 7 {
+		t.Errorf("Elasticity = %v, want 7 (override)", got)
+	}
+}
+
+func TestNu(t *testing.T) {
+	// Game with x² on one link: d=2, ν_e = max step over loads 1..2 = 3.
+	g := singletonGame(t, 10, 1, 1)
+	// Linear slope a: ν_e = a (step is constant).
+	if got := g.Nu(); got != 1 {
+		t.Errorf("Nu = %v, want 1", got)
+	}
+	quad, err := New(Config{
+		Resources:  []Resource{{Latency: mustMonomial(t, 1, 2)}},
+		Players:    5,
+		Strategies: [][]int{{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = 2, steps: ℓ(1)−ℓ(0)=1, ℓ(2)−ℓ(1)=3 → ν = 3.
+	if got := quad.Nu(); got != 3 {
+		t.Errorf("quadratic Nu = %v, want 3", got)
+	}
+}
+
+func TestNuOfSumsResources(t *testing.T) {
+	g := pathGame(t, 10)
+	// d=2. ν_0 (linear a=1) = 1; ν_1 (linear a=2) = 2; ν_2 (x², loads 1..2) = 3.
+	// Strategy 0 = {0,1}: 3. Strategy 1 = {1,2}: 5.
+	if got := g.NuOf(0); got != 3 {
+		t.Errorf("NuOf(0) = %v, want 3", got)
+	}
+	if got := g.NuOf(1); got != 5 {
+		t.Errorf("NuOf(1) = %v, want 5", got)
+	}
+	if got := g.Nu(); got != 5 {
+		t.Errorf("Nu = %v, want 5", got)
+	}
+}
+
+func TestMinEmptyLatencyAndMaxSlope(t *testing.T) {
+	g := singletonGame(t, 4, 3, 5)
+	if got := g.MinEmptyLatency(); got != 3 {
+		t.Errorf("MinEmptyLatency = %v, want 3", got)
+	}
+	if got := g.MaxSlope(); got != 5 {
+		t.Errorf("MaxSlope = %v, want 5", got)
+	}
+}
+
+func TestMaxStrategyLatency(t *testing.T) {
+	g := pathGame(t, 3)
+	// Strategy {1,2} at load 3 everywhere: 2·3 + 3² = 15; strategy {0,1}: 3+6=9.
+	if got := g.MaxStrategyLatency(); got != 15 {
+		t.Errorf("MaxStrategyLatency = %v, want 15", got)
+	}
+}
+
+func TestIsSingleton(t *testing.T) {
+	if !singletonGame(t, 2, 1, 1).IsSingleton() {
+		t.Error("singleton game not recognized")
+	}
+	if pathGame(t, 2).IsSingleton() {
+		t.Error("path game misclassified as singleton")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	lin := mustLinear(t, 1)
+	g, err := New(Config{
+		Resources:  []Resource{{Latency: lin}, {Latency: lin}},
+		Players:    4,
+		Strategies: [][]int{{0}, {1}},
+		ClassOf:    []int{0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumClasses(); got != 2 {
+		t.Fatalf("NumClasses = %d, want 2", got)
+	}
+	if got := g.ClassOf(2); got != 1 {
+		t.Errorf("ClassOf(2) = %d, want 1", got)
+	}
+	members := g.ClassMembers(0)
+	if len(members) != 2 || members[0] != 0 || members[1] != 1 {
+		t.Errorf("ClassMembers(0) = %v, want [0 1]", members)
+	}
+}
+
+func TestDefaultSingleClass(t *testing.T) {
+	g := singletonGame(t, 3, 1)
+	if got := g.NumClasses(); got != 1 {
+		t.Fatalf("NumClasses = %d, want 1", got)
+	}
+	if got := len(g.ClassMembers(0)); got != 3 {
+		t.Errorf("class 0 has %d members, want 3", got)
+	}
+}
+
+func TestNewStateFromAssignment(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1)
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Count(0); got != 3 {
+		t.Errorf("Count(0) = %d, want 3", got)
+	}
+	if got := st.Load(1); got != 1 {
+		t.Errorf("Load(1) = %d, want 1", got)
+	}
+	if err := st.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	if _, err := NewStateFromAssignment(g, []int32{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewStateFromAssignment(g, []int32{0, 0, 0, 9}); err == nil {
+		t.Error("out-of-range strategy accepted")
+	}
+}
+
+func TestNewStateAllOnOne(t *testing.T) {
+	g := pathGame(t, 5)
+	st, err := NewState(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Count(1); got != 5 {
+		t.Errorf("Count(1) = %d, want 5", got)
+	}
+	if got := st.Load(1); got != 5 {
+		t.Errorf("shared resource load = %d, want 5", got)
+	}
+	if got := st.Load(0); got != 0 {
+		t.Errorf("unused resource load = %d, want 0", got)
+	}
+	if _, err := NewState(g, 9); err == nil {
+		t.Error("NewState with bad strategy accepted")
+	}
+}
+
+func TestNewRandomState(t *testing.T) {
+	g := singletonGame(t, 1000, 1, 1, 1, 1)
+	st, err := NewRandomState(g, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		c := st.Count(s)
+		if c < 150 || c > 350 {
+			t.Errorf("Count(%d) = %d, want ≈ 250", s, c)
+		}
+	}
+}
+
+func TestStrategyAndSwitchLatency(t *testing.T) {
+	g := pathGame(t, 4)
+	// 2 players on each path. Loads: r0=2, r1=4, r2=2.
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ℓ_{0,1} = 1·2 + 2·4 = 10; ℓ_{1,2} = 2·4 + 2² = 12.
+	if got := st.StrategyLatency(0); got != 10 {
+		t.Errorf("StrategyLatency(0) = %v, want 10", got)
+	}
+	if got := st.StrategyLatency(1); got != 12 {
+		t.Errorf("StrategyLatency(1) = %v, want 12", got)
+	}
+	// Switch 1 → 0: resource 1 shared (load stays 4), resource 0 gains one
+	// player (load 3): ℓ = 1·3 + 2·4 = 11.
+	if got := st.SwitchLatency(1, 0); got != 11 {
+		t.Errorf("SwitchLatency(1,0) = %v, want 11", got)
+	}
+	// Gain of moving 1 → 0: 12 − 11 = 1.
+	if got := st.Gain(1, 0); got != 1 {
+		t.Errorf("Gain(1,0) = %v, want 1", got)
+	}
+	// Same strategy: switch latency equals current latency.
+	if got := st.SwitchLatency(0, 0); got != 10 {
+		t.Errorf("SwitchLatency(0,0) = %v, want 10", got)
+	}
+}
+
+func TestJoinLatency(t *testing.T) {
+	g := pathGame(t, 4)
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ℓ⁺_{0,1} = 1·3 + 2·5 = 13.
+	if got := st.JoinLatency(0); got != 13 {
+		t.Errorf("JoinLatency(0) = %v, want 13", got)
+	}
+}
+
+func TestMovePotentialIdentity(t *testing.T) {
+	g := pathGame(t, 4)
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Potential()
+	want := st.SwitchLatency(1, 0) - st.StrategyLatency(1)
+	got := st.Move(2, 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Move ΔΦ = %v, want %v", got, want)
+	}
+	after := st.Potential()
+	if math.Abs((after-before)-got) > 1e-9 {
+		t.Errorf("recomputed ΔΦ = %v, Move returned %v", after-before, got)
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveNoop(t *testing.T) {
+	g := singletonGame(t, 2, 1, 1)
+	st, err := NewStateFromAssignment(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Move(0, 0); got != 0 {
+		t.Errorf("no-op Move ΔΦ = %v, want 0", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	g := singletonGame(t, 4, 1, 2) // ℓ0 = x, ℓ1 = 2x
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loads: 3 and 1. Latencies: 3 and 2.
+	if got, want := st.AvgLatency(), (3.0*3+1*2)/4; got != want {
+		t.Errorf("AvgLatency = %v, want %v", got, want)
+	}
+	if got, want := st.AvgJoinLatency(), (3.0*4+1*4)/4; got != want {
+		t.Errorf("AvgJoinLatency = %v, want %v", got, want)
+	}
+	if got := st.Makespan(); got != 3 {
+		t.Errorf("Makespan = %v, want 3", got)
+	}
+	if got := st.MinOccupiedLatency(); got != 2 {
+		t.Errorf("MinOccupiedLatency = %v, want 2", got)
+	}
+	if got := st.SocialCost(); got != st.AvgLatency() {
+		t.Errorf("SocialCost = %v, want AvgLatency %v", got, st.AvgLatency())
+	}
+	if got := st.PlayerLatency(3); got != 2 {
+		t.Errorf("PlayerLatency(3) = %v, want 2", got)
+	}
+}
+
+func TestPotentialDefinition(t *testing.T) {
+	g := singletonGame(t, 3, 2) // single link ℓ = 2x
+	st, err := NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Φ = 2+4+6 = 12.
+	if got := st.Potential(); got != 12 {
+		t.Errorf("Potential = %v, want 12", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	g := singletonGame(t, 4, 1, 1, 1)
+	st, err := NewStateFromAssignment(g, []int32{0, 0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Support()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Support = %v, want [0 2]", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g := singletonGame(t, 2, 1, 1)
+	st, err := NewStateFromAssignment(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := st.Clone()
+	st.Move(0, 1)
+	if cp.Count(1) != 1 {
+		t.Error("Clone shares state with original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnsureStrategiesAfterRegistration(t *testing.T) {
+	g := singletonGame(t, 2, 1, 1, 1)
+	st, err := NewStateFromAssignment(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third strategy existed at construction; registering a new one via
+	// resource 2 is a no-op (already registered), so force a new strategy
+	// through a fresh resource set on a path-style game instead.
+	gp := pathGame(t, 2)
+	stp, err := NewStateFromAssignment(gp, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, isNew, err := gp.RegisterStrategy([]int{0, 2})
+	if err != nil || !isNew {
+		t.Fatalf("RegisterStrategy = (%d,%v,%v)", id, isNew, err)
+	}
+	if got := stp.Count(id); got != 0 {
+		t.Errorf("Count(new strategy) = %d, want 0", got)
+	}
+	stp.EnsureStrategies()
+	stp.Move(0, id)
+	if got := stp.Count(id); got != 1 {
+		t.Errorf("after move, Count = %d, want 1", got)
+	}
+	if err := stp.Validate(); err != nil {
+		t.Error(err)
+	}
+	_ = st
+}
+
+// Property: random move sequences preserve all bookkeeping invariants and
+// the incremental potential matches the recomputed potential.
+func TestRandomWalkInvariants(t *testing.T) {
+	g, err := New(Config{
+		Resources: []Resource{
+			{Latency: mustLinear(t, 1)},
+			{Latency: mustLinear(t, 3)},
+			{Latency: mustMonomial(t, 2, 2)},
+			{Latency: mustMonomial(t, 1, 3)},
+		},
+		Players:    12,
+		Strategies: [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 1, 2, 3}, {1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(7)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := st.Potential()
+	for step := 0; step < 500; step++ {
+		p := rng.Intn(g.NumPlayers())
+		to := rng.Intn(g.NumStrategies())
+		phi += st.Move(p, to)
+		if step%50 == 0 {
+			if err := st.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			full := st.Potential()
+			if math.Abs(full-phi) > 1e-6*(1+math.Abs(full)) {
+				t.Fatalf("step %d: incremental Φ = %v, recomputed %v", step, phi, full)
+			}
+		}
+	}
+}
+
+// Property: Gain is antisymmetric-ish through the potential: a move and its
+// reverse change Φ by exactly opposite amounts.
+func TestMoveReverseRestoresPotential(t *testing.T) {
+	g := pathGame(t, 6)
+	rng := prng.New(11)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := rng.Intn(6)
+		from := st.Assign(p)
+		to := rng.Intn(g.NumStrategies())
+		d1 := st.Move(p, to)
+		d2 := st.Move(p, from)
+		if math.Abs(d1+d2) > 1e-9 {
+			t.Fatalf("move/unmove ΔΦ = %v + %v ≠ 0", d1, d2)
+		}
+	}
+}

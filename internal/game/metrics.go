@@ -1,0 +1,84 @@
+package game
+
+// Potential returns the Rosenthal potential
+//
+//	Φ(x) = Σ_e Σ_{i=1}^{x_e} ℓ_e(i)
+//
+// recomputed from scratch. The simulation engine maintains Φ incrementally
+// via Move's return value; this method is the ground truth used for
+// cross-checks and for initialization.
+func (st *State) Potential() float64 {
+	phi := 0.0
+	for e, x := range st.load {
+		f := st.g.resources[e].Latency
+		for i := int64(1); i <= x; i++ {
+			phi += f.Value(float64(i))
+		}
+	}
+	return phi
+}
+
+// AvgLatency returns L_av(x) = Σ_P (x_P/n)·ℓ_P(x), the player-average
+// latency. By exchanging sums it equals Σ_e x_e·ℓ_e(x_e)/n, which is what
+// this method computes (O(m) instead of O(support)).
+func (st *State) AvgLatency() float64 {
+	sum := 0.0
+	for e, x := range st.load {
+		if x > 0 {
+			sum += float64(x) * st.g.resources[e].Latency.Value(float64(x))
+		}
+	}
+	return sum / float64(st.g.n)
+}
+
+// AvgJoinLatency returns L⁺_av(x) = Σ_P (x_P/n)·ℓ_P(x+1_P): the average,
+// over players, of the latency their strategy would have with one extra
+// player on each of its resources. This is the reference point of the
+// (δ,ε,ν)-equilibrium definition (Definition 1).
+func (st *State) AvgJoinLatency() float64 {
+	sum := 0.0
+	for s, c := range st.counts {
+		if c > 0 {
+			sum += float64(c) * st.JoinLatency(s)
+		}
+	}
+	return sum / float64(st.g.n)
+}
+
+// SocialCost returns the average latency (the social cost measure SC used
+// in Section 5.1 of the paper).
+func (st *State) SocialCost() float64 { return st.AvgLatency() }
+
+// Makespan returns the maximum latency over occupied strategies.
+func (st *State) Makespan() float64 {
+	best := 0.0
+	for s, c := range st.counts {
+		if c > 0 {
+			if v := st.StrategyLatency(s); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// MinOccupiedLatency returns the minimum latency over occupied strategies.
+func (st *State) MinOccupiedLatency() float64 {
+	first := true
+	best := 0.0
+	for s, c := range st.counts {
+		if c > 0 {
+			v := st.StrategyLatency(s)
+			if first || v < best {
+				best = v
+				first = false
+			}
+		}
+	}
+	return best
+}
+
+// PlayerLatency returns the current latency of the given player's strategy.
+func (st *State) PlayerLatency(p int) float64 {
+	return st.StrategyLatency(int(st.assign[p]))
+}

@@ -1,0 +1,263 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// State is an assignment of the n players to registered strategies, together
+// with the induced congestion vector. All mutation goes through Move so the
+// bookkeeping (per-strategy counts, per-resource loads) stays consistent.
+//
+// A State is not safe for concurrent mutation. The simulation engine
+// snapshots what it needs, computes decisions concurrently, and applies
+// moves sequentially.
+type State struct {
+	g      *Game
+	assign []int32 // player -> strategy
+	counts []int64 // strategy -> number of players on it
+	load   []int64 // resource -> congestion x_e
+}
+
+// NewState creates a state with every player on the given strategy.
+func NewState(g *Game, strategy int) (*State, error) {
+	if strategy < 0 || strategy >= len(g.strategies) {
+		return nil, fmt.Errorf("%w: strategy %d out of range [0,%d)", ErrInvalid, strategy, len(g.strategies))
+	}
+	assign := make([]int32, g.n)
+	for i := range assign {
+		assign[i] = int32(strategy)
+	}
+	return NewStateFromAssignment(g, assign)
+}
+
+// NewStateFromAssignment creates a state from an explicit player-to-strategy
+// assignment. The slice is copied.
+func NewStateFromAssignment(g *Game, assign []int32) (*State, error) {
+	if len(assign) != g.n {
+		return nil, fmt.Errorf("%w: assignment has %d players, want %d", ErrInvalid, len(assign), g.n)
+	}
+	st := &State{
+		g:      g,
+		assign: append([]int32(nil), assign...),
+		counts: make([]int64, len(g.strategies)),
+		load:   make([]int64, len(g.resources)),
+	}
+	for p, s := range st.assign {
+		if s < 0 || int(s) >= len(g.strategies) {
+			return nil, fmt.Errorf("%w: player %d assigned to strategy %d, have %d strategies", ErrInvalid, p, s, len(g.strategies))
+		}
+		st.counts[s]++
+		for _, e := range g.strategies[s] {
+			st.load[e]++
+		}
+	}
+	return st, nil
+}
+
+// NewRandomState creates a state with every player assigned independently
+// and uniformly at random among the registered strategies — the paper's
+// "random initialization".
+func NewRandomState(g *Game, rng *rand.Rand) (*State, error) {
+	assign := make([]int32, g.n)
+	for i := range assign {
+		assign[i] = int32(rng.Intn(len(g.strategies)))
+	}
+	return NewStateFromAssignment(g, assign)
+}
+
+// Game returns the underlying game.
+func (st *State) Game() *Game { return st.g }
+
+// Assign returns the strategy of the given player.
+func (st *State) Assign(p int) int { return int(st.assign[p]) }
+
+// AssignmentView returns the player-to-strategy vector. Callers must not
+// modify it; it becomes stale after Move.
+func (st *State) AssignmentView() []int32 { return st.assign }
+
+// Count returns the number of players on the given strategy.
+func (st *State) Count(s int) int64 {
+	if s >= len(st.counts) {
+		return 0 // strategy registered after this state last touched it
+	}
+	return st.counts[s]
+}
+
+// Load returns the congestion x_e of the given resource.
+func (st *State) Load(e int) int64 { return st.load[e] }
+
+// LoadsView returns the congestion vector. Callers must not modify it.
+func (st *State) LoadsView() []int64 { return st.load }
+
+// ResourceLatency returns ℓ_e(x_e) at the current congestion.
+func (st *State) ResourceLatency(e int) float64 {
+	return st.g.resources[e].Latency.Value(float64(st.load[e]))
+}
+
+// StrategyLatency returns ℓ_P(x) = Σ_{e∈P} ℓ_e(x_e) for the given strategy
+// at the current state.
+func (st *State) StrategyLatency(s int) float64 {
+	sum := 0.0
+	for _, e := range st.g.strategies[s] {
+		sum += st.g.resources[e].Latency.Value(float64(st.load[e]))
+	}
+	return sum
+}
+
+// JoinLatency returns ℓ⁺_P(x) = ℓ_P(x + 1_P): the latency of the strategy if
+// one additional player joined every one of its resources.
+func (st *State) JoinLatency(s int) float64 {
+	sum := 0.0
+	for _, e := range st.g.strategies[s] {
+		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + 1))
+	}
+	return sum
+}
+
+// SwitchLatency returns ℓ_to(x + 1_to − 1_from): the latency the switching
+// player would experience on strategy `to` after leaving `from`, assuming
+// nobody else moves. Resources shared by both strategies keep their load.
+func (st *State) SwitchLatency(from, to int) float64 {
+	if from == to {
+		return st.StrategyLatency(to)
+	}
+	fromRes := st.g.strategies[from]
+	toRes := st.g.strategies[to]
+	sum := 0.0
+	i := 0
+	for _, e := range toRes {
+		for i < len(fromRes) && fromRes[i] < e {
+			i++
+		}
+		delta := int64(1)
+		if i < len(fromRes) && fromRes[i] == e {
+			delta = 0 // shared resource: +1 and −1 cancel
+		}
+		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + delta))
+	}
+	return sum
+}
+
+// SwitchLatencyTo returns ℓ_Q(x + 1_Q − 1_from) for an arbitrary resource
+// set Q that need not be a registered strategy. It is used by the
+// EXPLORATION PROTOCOL to evaluate freshly sampled strategies before
+// registering them. The resource list need not be sorted; duplicates are
+// the caller's responsibility to avoid.
+func (st *State) SwitchLatencyTo(from int, resources []int) float64 {
+	fromRes := st.g.strategies[from]
+	sum := 0.0
+	for _, e := range resources {
+		delta := int64(1)
+		// fromRes is sorted: binary search for membership.
+		lo, hi := 0, len(fromRes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if fromRes[mid] < int32(e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(fromRes) && fromRes[lo] == int32(e) {
+			delta = 0
+		}
+		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + delta))
+	}
+	return sum
+}
+
+// Gain returns the anticipated latency improvement of switching from
+// strategy `from` to strategy `to`: ℓ_from(x) − ℓ_to(x + 1_to − 1_from).
+// Positive values mean the switch is improving.
+func (st *State) Gain(from, to int) float64 {
+	return st.StrategyLatency(from) - st.SwitchLatency(from, to)
+}
+
+// Move reassigns player p to the given strategy and returns the exact
+// potential change ΔΦ, using Rosenthal's identity
+// Φ(x+1_Q−1_P) − Φ(x) = ℓ_Q(x+1_Q−1_P) − ℓ_P(x).
+func (st *State) Move(p, to int) float64 {
+	from := int(st.assign[p])
+	if from == to {
+		return 0
+	}
+	deltaPhi := st.SwitchLatency(from, to) - st.StrategyLatency(from)
+	st.assign[p] = int32(to)
+	st.counts[from]--
+	st.counts[to]++
+	for _, e := range st.g.strategies[from] {
+		st.load[e]--
+	}
+	for _, e := range st.g.strategies[to] {
+		st.load[e]++
+	}
+	return deltaPhi
+}
+
+// EnsureStrategies grows the per-strategy count vector after new strategies
+// were registered on the game (by exploration). It is a no-op if the state
+// is already current.
+func (st *State) EnsureStrategies() {
+	if len(st.counts) < len(st.g.strategies) {
+		grown := make([]int64, len(st.g.strategies))
+		copy(grown, st.counts)
+		st.counts = grown
+	}
+}
+
+// Clone returns a deep copy sharing the (immutable) game.
+func (st *State) Clone() *State {
+	return &State{
+		g:      st.g,
+		assign: append([]int32(nil), st.assign...),
+		counts: append([]int64(nil), st.counts...),
+		load:   append([]int64(nil), st.load...),
+	}
+}
+
+// Validate checks the internal bookkeeping invariants: counts sum to n,
+// loads match the aggregated assignment, and every player is on a valid
+// strategy. It returns the first violation found.
+func (st *State) Validate() error {
+	var totalPlayers int64
+	counts := make([]int64, len(st.g.strategies))
+	load := make([]int64, len(st.g.resources))
+	for p, s := range st.assign {
+		if s < 0 || int(s) >= len(st.g.strategies) {
+			return fmt.Errorf("%w: player %d on unknown strategy %d", ErrInvalid, p, s)
+		}
+		counts[s]++
+		for _, e := range st.g.strategies[s] {
+			load[e]++
+		}
+	}
+	st.EnsureStrategies()
+	for s, want := range counts {
+		if st.counts[s] != want {
+			return fmt.Errorf("%w: strategy %d count = %d, recomputed %d", ErrInvalid, s, st.counts[s], want)
+		}
+		totalPlayers += want
+	}
+	if totalPlayers != int64(st.g.n) {
+		return fmt.Errorf("%w: counts sum to %d, want %d players", ErrInvalid, totalPlayers, st.g.n)
+	}
+	for e, want := range load {
+		if st.load[e] != want {
+			return fmt.Errorf("%w: resource %d load = %d, recomputed %d", ErrInvalid, e, st.load[e], want)
+		}
+	}
+	return nil
+}
+
+// Support returns the IDs of strategies with at least one player, in
+// ascending order.
+func (st *State) Support() []int {
+	var out []int
+	for s, c := range st.counts {
+		if c > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

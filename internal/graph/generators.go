@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Network bundles a digraph with a designated source and sink, the setting
+// of symmetric network congestion games.
+type Network struct {
+	G    *Digraph
+	S, T int
+}
+
+// ParallelLinks returns the two-vertex network with m parallel s–t edges —
+// the singleton games of Section 5.
+func ParallelLinks(m int) (Network, error) {
+	if m <= 0 {
+		return Network{}, fmt.Errorf("%w: need at least one link, got %d", ErrInvalid, m)
+	}
+	g, err := NewDigraph(2)
+	if err != nil {
+		return Network{}, err
+	}
+	for i := 0; i < m; i++ {
+		if _, err := g.AddEdge(0, 1); err != nil {
+			return Network{}, err
+		}
+	}
+	return Network{G: g, S: 0, T: 1}, nil
+}
+
+// Layered returns a random layered DAG: `layers` internal layers of `width`
+// vertices each between s and t. Every vertex of layer i is connected to
+// each vertex of layer i+1 independently with probability p; to keep the
+// network connected, one edge per vertex to the next layer is always added.
+// The construction yields Θ(width^layers)-many s–t paths, exercising the
+// implicit-strategy-space machinery.
+func Layered(layers, width int, p float64, rng *rand.Rand) (Network, error) {
+	if layers < 1 || width < 1 {
+		return Network{}, fmt.Errorf("%w: layers=%d width=%d must be ≥ 1", ErrInvalid, layers, width)
+	}
+	if p < 0 || p > 1 {
+		return Network{}, fmt.Errorf("%w: probability p=%v out of [0,1]", ErrInvalid, p)
+	}
+	numV := 2 + layers*width
+	g, err := NewDigraph(numV)
+	if err != nil {
+		return Network{}, err
+	}
+	s, t := 0, numV-1
+	vertex := func(layer, i int) int { return 1 + layer*width + i }
+
+	// Source to first layer: connect to every vertex so all are reachable.
+	for i := 0; i < width; i++ {
+		if _, err := g.AddEdge(s, vertex(0, i)); err != nil {
+			return Network{}, err
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			forced := rng.Intn(width)
+			for j := 0; j < width; j++ {
+				if j == forced || rng.Float64() < p {
+					if _, err := g.AddEdge(vertex(l, i), vertex(l+1, j)); err != nil {
+						return Network{}, err
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < width; i++ {
+		if _, err := g.AddEdge(vertex(layers-1, i), t); err != nil {
+			return Network{}, err
+		}
+	}
+	return Network{G: g, S: s, T: t}, nil
+}
+
+// Grid returns a w×h grid DAG with edges pointing right and down, source at
+// the top-left and sink at the bottom-right. It has C(w+h−2, w−1) paths.
+func Grid(w, h int) (Network, error) {
+	if w < 1 || h < 1 {
+		return Network{}, fmt.Errorf("%w: grid dimensions %dx%d must be ≥ 1", ErrInvalid, w, h)
+	}
+	if w*h < 2 {
+		return Network{}, fmt.Errorf("%w: grid %dx%d has no room for distinct s and t", ErrInvalid, w, h)
+	}
+	g, err := NewDigraph(w * h)
+	if err != nil {
+		return Network{}, err
+	}
+	vertex := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if _, err := g.AddEdge(vertex(x, y), vertex(x+1, y)); err != nil {
+					return Network{}, err
+				}
+			}
+			if y+1 < h {
+				if _, err := g.AddEdge(vertex(x, y), vertex(x, y+1)); err != nil {
+					return Network{}, err
+				}
+			}
+		}
+	}
+	return Network{G: g, S: 0, T: w*h - 1}, nil
+}
+
+// Braess returns the classic 4-vertex Braess network: s→a, s→b, a→t, b→t
+// plus the "shortcut" a→b. Edge IDs in order: (s,a)=0, (s,b)=1, (a,t)=2,
+// (b,t)=3, (a,b)=4.
+func Braess() (Network, error) {
+	g, err := NewDigraph(4)
+	if err != nil {
+		return Network{}, err
+	}
+	const s, a, b, t = 0, 1, 2, 3
+	for _, e := range [][2]int{{s, a}, {s, b}, {a, t}, {b, t}, {a, b}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return Network{}, err
+		}
+	}
+	return Network{G: g, S: s, T: t}, nil
+}
+
+// SeriesParallel returns a random two-terminal series-parallel network built
+// by `ops` random series/parallel compositions starting from a single edge.
+// Series-parallel networks are the classic class on which congestion-game
+// dynamics behave well.
+func SeriesParallel(ops int, rng *rand.Rand) (Network, error) {
+	if ops < 0 {
+		return Network{}, fmt.Errorf("%w: ops = %d must be ≥ 0", ErrInvalid, ops)
+	}
+	// Build the edge list with virtual vertex IDs, then compact.
+	type sp struct{ s, t int }
+	nextVertex := 2
+	edges := [][2]int{{0, 1}}
+	cur := sp{s: 0, t: 1}
+	for i := 0; i < ops; i++ {
+		if rng.Intn(2) == 0 {
+			// Series: append a fresh edge after the current sink.
+			v := nextVertex
+			nextVertex++
+			edges = append(edges, [2]int{cur.t, v})
+			cur.t = v
+		} else {
+			// Parallel: duplicate the terminals with a fresh two-edge branch.
+			v := nextVertex
+			nextVertex++
+			edges = append(edges, [2]int{cur.s, v}, [2]int{v, cur.t})
+		}
+	}
+	g, err := NewDigraph(nextVertex)
+	if err != nil {
+		return Network{}, err
+	}
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return Network{}, err
+		}
+	}
+	return Network{G: g, S: cur.s, T: cur.t}, nil
+}

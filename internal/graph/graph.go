@@ -1,0 +1,390 @@
+// Package graph provides the network substrate for symmetric network
+// congestion games: directed multigraphs with source/sink designation,
+// s–t path enumeration, exact path counting, uniform random path sampling
+// in DAGs (the strategy sampler of the EXPLORATION PROTOCOL), and a
+// Dijkstra best-response oracle.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+)
+
+// ErrInvalid reports an invalid graph construction or query.
+var ErrInvalid = errors.New("graph: invalid")
+
+// Edge is a directed edge. Edges are identified by their insertion index,
+// which network congestion games use as the resource index.
+type Edge struct {
+	From, To int
+	ID       int
+}
+
+// Digraph is a directed multigraph with a fixed vertex count.
+type Digraph struct {
+	numVertices int
+	edges       []Edge
+	out         [][]int // vertex -> outgoing edge IDs
+	in          [][]int // vertex -> incoming edge IDs
+}
+
+// NewDigraph returns an empty graph on the given number of vertices.
+func NewDigraph(vertices int) (*Digraph, error) {
+	if vertices <= 0 {
+		return nil, fmt.Errorf("%w: vertices = %d, need > 0", ErrInvalid, vertices)
+	}
+	return &Digraph{
+		numVertices: vertices,
+		out:         make([][]int, vertices),
+		in:          make([][]int, vertices),
+	}, nil
+}
+
+// AddEdge appends a directed edge and returns its ID. Self-loops are
+// rejected (they can never lie on a simple s–t path).
+func (g *Digraph) AddEdge(from, to int) (int, error) {
+	if from < 0 || from >= g.numVertices || to < 0 || to >= g.numVertices {
+		return 0, fmt.Errorf("%w: edge (%d,%d) out of range [0,%d)", ErrInvalid, from, to, g.numVertices)
+	}
+	if from == to {
+		return 0, fmt.Errorf("%w: self-loop at vertex %d", ErrInvalid, from)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, ID: id})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// NumVertices returns the vertex count.
+func (g *Digraph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with the given ID.
+func (g *Digraph) Edge(id int) Edge { return g.edges[id] }
+
+// OutEdges returns the IDs of edges leaving v. Callers must not modify the
+// returned slice.
+func (g *Digraph) OutEdges(v int) []int { return g.out[v] }
+
+// InEdges returns the IDs of edges entering v. Callers must not modify the
+// returned slice.
+func (g *Digraph) InEdges(v int) []int { return g.in[v] }
+
+// TopoOrder returns a topological order of the vertices, or an error if the
+// graph has a directed cycle.
+func (g *Digraph) TopoOrder() ([]int, error) {
+	indeg := make([]int, g.numVertices)
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, g.numVertices)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.numVertices)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, id := range g.out[v] {
+			w := g.edges[id].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != g.numVertices {
+		return nil, fmt.Errorf("%w: graph has a directed cycle", ErrInvalid)
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// EnumeratePaths returns all simple s–t paths as edge-ID lists, stopping
+// after limit paths (limit ≤ 0 means no limit). The traversal is
+// deterministic (edge-insertion order).
+func (g *Digraph) EnumeratePaths(s, t, limit int) ([][]int, error) {
+	if err := g.checkST(s, t); err != nil {
+		return nil, err
+	}
+	var (
+		paths   [][]int
+		current []int
+		visited = make([]bool, g.numVertices)
+		walk    func(v int) bool
+	)
+	walk = func(v int) bool {
+		if v == t {
+			paths = append(paths, append([]int(nil), current...))
+			return limit > 0 && len(paths) >= limit
+		}
+		visited[v] = true
+		for _, id := range g.out[v] {
+			w := g.edges[id].To
+			if visited[w] {
+				continue
+			}
+			current = append(current, id)
+			done := walk(w)
+			current = current[:len(current)-1]
+			if done {
+				visited[v] = false
+				return true
+			}
+		}
+		visited[v] = false
+		return false
+	}
+	walk(s)
+	return paths, nil
+}
+
+// CountPaths returns the exact number of distinct s–t paths in a DAG (as a
+// big integer: layered networks have exponentially many paths). It returns
+// an error if the graph is cyclic.
+func (g *Digraph) CountPaths(s, t int) (*big.Int, error) {
+	if err := g.checkST(s, t); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]*big.Int, g.numVertices)
+	for i := range counts {
+		counts[i] = new(big.Int)
+	}
+	counts[t].SetInt64(1)
+	// Process in reverse topological order: counts[v] = Σ counts[head(e)].
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if v == t {
+			continue
+		}
+		for _, id := range g.out[v] {
+			counts[v].Add(counts[v], counts[g.edges[id].To])
+		}
+	}
+	return counts[s], nil
+}
+
+// PathSampler draws s–t paths uniformly at random from a DAG, implementing
+// the strategy sampling step of the EXPLORATION PROTOCOL for network games.
+type PathSampler struct {
+	g      *Digraph
+	s, t   int
+	counts []*big.Int // vertex -> number of v–t paths
+	total  *big.Int
+}
+
+// NewPathSampler prepares uniform path sampling between s and t. The graph
+// must be a DAG with at least one s–t path.
+func NewPathSampler(g *Digraph, s, t int) (*PathSampler, error) {
+	if err := g.checkST(s, t); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]*big.Int, g.numVertices)
+	for i := range counts {
+		counts[i] = new(big.Int)
+	}
+	counts[t].SetInt64(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if v == t {
+			continue
+		}
+		for _, id := range g.out[v] {
+			counts[v].Add(counts[v], counts[g.edges[id].To])
+		}
+	}
+	if counts[s].Sign() == 0 {
+		return nil, fmt.Errorf("%w: no path from %d to %d", ErrInvalid, s, t)
+	}
+	return &PathSampler{g: g, s: s, t: t, counts: counts, total: counts[s]}, nil
+}
+
+// NumPaths returns the total number of s–t paths.
+func (ps *PathSampler) NumPaths() *big.Int { return new(big.Int).Set(ps.total) }
+
+// Sample returns a uniformly random s–t path as an edge-ID list. At each
+// vertex the next edge is chosen with probability proportional to the number
+// of paths through it, which yields the exact uniform distribution.
+func (ps *PathSampler) Sample(rng *rand.Rand) []int {
+	var path []int
+	v := ps.s
+	pick := new(big.Int)
+	acc := new(big.Int)
+	for v != ps.t {
+		// pick ∈ [0, counts[v])
+		randBig(pick, ps.counts[v], rng)
+		acc.SetInt64(0)
+		chosen := -1
+		for _, id := range ps.g.out[v] {
+			acc.Add(acc, ps.counts[ps.g.edges[id].To])
+			if pick.Cmp(acc) < 0 {
+				chosen = id
+				break
+			}
+		}
+		path = append(path, chosen)
+		v = ps.g.edges[chosen].To
+	}
+	return path
+}
+
+// randBig sets dst to a uniform value in [0, bound). bound must be positive.
+func randBig(dst, bound *big.Int, rng *rand.Rand) {
+	if bound.IsInt64() {
+		dst.SetInt64(rng.Int63n(bound.Int64()))
+		return
+	}
+	bits := bound.BitLen()
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for {
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		// Mask excess high bits to reduce rejection probability.
+		if excess := bytes*8 - bits; excess > 0 {
+			buf[0] &= 0xff >> excess
+		}
+		dst.SetBytes(buf)
+		if dst.Cmp(bound) < 0 {
+			return
+		}
+	}
+}
+
+// ShortestPath runs Dijkstra with the given non-negative edge weights and
+// returns a minimum-weight s–t path as an edge-ID list plus its weight.
+// It returns an error if t is unreachable. Ties are broken deterministically
+// by vertex and edge order.
+func (g *Digraph) ShortestPath(s, t int, weight func(edgeID int) float64) ([]int, float64, error) {
+	if err := g.checkST(s, t); err != nil {
+		return nil, 0, err
+	}
+	dist := make([]float64, g.numVertices)
+	prev := make([]int, g.numVertices) // incoming edge ID on the best path
+	done := make([]bool, g.numVertices)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	h := &heapq{}
+	h.push(heapItem{v: s, d: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == t {
+			break
+		}
+		for _, id := range g.out[it.v] {
+			w := weight(id)
+			if w < 0 || math.IsNaN(w) {
+				return nil, 0, fmt.Errorf("%w: negative or NaN weight %v on edge %d", ErrInvalid, w, id)
+			}
+			to := g.edges[id].To
+			if nd := dist[it.v] + w; nd < dist[to] {
+				dist[to] = nd
+				prev[to] = id
+				h.push(heapItem{v: to, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, 0, fmt.Errorf("%w: vertex %d unreachable from %d", ErrInvalid, t, s)
+	}
+	var rev []int
+	for v := t; v != s; {
+		id := prev[v]
+		rev = append(rev, id)
+		v = g.edges[id].From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[t], nil
+}
+
+func (g *Digraph) checkST(s, t int) error {
+	if s < 0 || s >= g.numVertices || t < 0 || t >= g.numVertices {
+		return fmt.Errorf("%w: s=%d t=%d out of range [0,%d)", ErrInvalid, s, t, g.numVertices)
+	}
+	if s == t {
+		return fmt.Errorf("%w: source equals sink (%d)", ErrInvalid, s)
+	}
+	return nil
+}
+
+// heapq is a minimal binary min-heap for Dijkstra, avoiding the
+// container/heap interface indirection on the hot path.
+type heapItem struct {
+	v int
+	d float64
+}
+
+type heapq struct {
+	items []heapItem
+}
+
+func (h *heapq) len() int { return len(h.items) }
+
+func (h *heapq) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *heapq) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].d < h.items[smallest].d {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].d < h.items[smallest].d {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,501 @@
+package graph
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"congame/internal/prng"
+)
+
+// diamond builds s→a→t, s→b→t (4 vertices, 4 edges).
+func diamond(t *testing.T) *Digraph {
+	t.Helper()
+	g, err := NewDigraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewDigraphValidation(t *testing.T) {
+	if _, err := NewDigraph(0); err == nil {
+		t.Error("NewDigraph(0) succeeded, want error")
+	}
+	if _, err := NewDigraph(-3); err == nil {
+		t.Error("NewDigraph(-3) succeeded, want error")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g, err := NewDigraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.AddEdge(0, 1)
+	if err != nil || id != 0 {
+		t.Fatalf("AddEdge = (%d, %v), want (0, nil)", id, err)
+	}
+	id, err = g.AddEdge(0, 1) // parallel edges allowed
+	if err != nil || id != 1 {
+		t.Fatalf("parallel AddEdge = (%d, %v), want (1, nil)", id, err)
+	}
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 9); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if got := g.NumEdges(); got != 2 {
+		t.Errorf("NumEdges = %d, want 2", got)
+	}
+	e := g.Edge(1)
+	if e.From != 0 || e.To != 1 || e.ID != 1 {
+		t.Errorf("Edge(1) = %+v", e)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := diamond(t)
+	if got := len(g.OutEdges(0)); got != 2 {
+		t.Errorf("out-degree of s = %d, want 2", got)
+	}
+	if got := len(g.InEdges(3)); got != 2 {
+		t.Errorf("in-degree of t = %d, want 2", got)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("topo order violates edge %v", e)
+		}
+	}
+	if !g.IsDAG() {
+		t.Error("diamond not recognized as DAG")
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g, err := NewDigraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if g.IsDAG() {
+		t.Error("IsDAG = true for cycle")
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	g := diamond(t)
+	paths, err := g.EnumeratePaths(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(paths), paths)
+	}
+	// Each path is two edges and connects s to t.
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Errorf("path %v has length %d, want 2", p, len(p))
+		}
+		if g.Edge(p[0]).From != 0 || g.Edge(p[1]).To != 3 {
+			t.Errorf("path %v does not connect 0 to 3", p)
+		}
+		if g.Edge(p[0]).To != g.Edge(p[1]).From {
+			t.Errorf("path %v is not connected", p)
+		}
+	}
+}
+
+func TestEnumeratePathsLimit(t *testing.T) {
+	g := diamond(t)
+	paths, err := g.EnumeratePaths(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("limit=1 returned %d paths", len(paths))
+	}
+}
+
+func TestEnumeratePathsValidation(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.EnumeratePaths(0, 0, 0); err == nil {
+		t.Error("s == t accepted")
+	}
+	if _, err := g.EnumeratePaths(-1, 3, 0); err == nil {
+		t.Error("negative s accepted")
+	}
+}
+
+func TestEnumeratePathsAvoidsCycles(t *testing.T) {
+	// Triangle with a cycle: 0→1, 1→2, 2→1, 1→3. Simple paths 0→3: only
+	// 0→1→3 (0→1→2→1→3 revisits 1).
+	g, err := NewDigraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 3}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := g.EnumeratePaths(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("found %d simple paths, want 1: %v", len(paths), paths)
+	}
+}
+
+func TestCountPathsMatchesEnumeration(t *testing.T) {
+	rng := prng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		net, err := Layered(3, 3, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := net.G.CountPaths(net.S, net.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := net.G.EnumeratePaths(net.S, net.T, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Cmp(big.NewInt(int64(len(paths)))) != 0 {
+			t.Errorf("trial %d: CountPaths = %v, enumeration found %d", trial, count, len(paths))
+		}
+	}
+}
+
+func TestGridPathCountIsBinomial(t *testing.T) {
+	net, err := Grid(4, 3) // C(5,3) = 10 paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := net.G.CountPaths(net.S, net.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(10)) != 0 {
+		t.Errorf("4x3 grid has %v paths, want 10", count)
+	}
+}
+
+func TestPathSamplerUniform(t *testing.T) {
+	net, err := Grid(3, 3) // C(4,2) = 6 paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPathSampler(net.G, net.S, net.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumPaths().Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("NumPaths = %v, want 6", ps.NumPaths())
+	}
+	rng := prng.New(42)
+	const draws = 60000
+	freq := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		p := ps.Sample(rng)
+		key := ""
+		for _, id := range p {
+			key += string(rune('a' + id))
+		}
+		freq[key]++
+	}
+	if len(freq) != 6 {
+		t.Fatalf("sampled %d distinct paths, want 6", len(freq))
+	}
+	want := float64(draws) / 6
+	for key, c := range freq {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("path %q sampled %d times, want ≈ %v", key, c, want)
+		}
+	}
+}
+
+func TestPathSamplerValidPaths(t *testing.T) {
+	rng := prng.New(9)
+	net, err := Layered(4, 3, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPathSampler(net.G, net.S, net.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := ps.Sample(rng)
+		v := net.S
+		for _, id := range p {
+			e := net.G.Edge(id)
+			if e.From != v {
+				t.Fatalf("sampled path %v broken at edge %d", p, id)
+			}
+			v = e.To
+		}
+		if v != net.T {
+			t.Fatalf("sampled path %v does not end at sink", p)
+		}
+	}
+}
+
+func TestNewPathSamplerErrors(t *testing.T) {
+	// No path: two isolated vertices.
+	g, err := NewDigraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPathSampler(g, 0, 1); err == nil {
+		t.Error("sampler on pathless graph accepted")
+	}
+	// Cyclic graph.
+	c, err := NewDigraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {0, 2}} {
+		if _, err := c.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewPathSampler(c, 0, 2); err == nil {
+		t.Error("sampler on cyclic graph accepted")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := diamond(t)
+	weights := []float64{1, 5, 1, 1} // top path 0→1→3 costs 2, bottom 6
+	path, dist, err := g.ShortestPath(0, 3, func(id int) float64 { return weights[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 2 {
+		t.Errorf("dist = %v, want 2", dist)
+	}
+	if len(path) != 2 || path[0] != 0 || path[1] != 2 {
+		t.Errorf("path = %v, want [0 2]", path)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g, err := NewDigraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.ShortestPath(0, 2, func(int) float64 { return 1 }); err == nil {
+		t.Error("unreachable sink accepted")
+	}
+}
+
+func TestShortestPathRejectsNegativeWeights(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := g.ShortestPath(0, 3, func(int) float64 { return -1 }); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestShortestPathLargerGraph(t *testing.T) {
+	rng := prng.New(17)
+	net, err := Layered(5, 4, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, net.G.NumEdges())
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()*10
+	}
+	path, dist, err := net.G.ShortestPath(net.S, net.T, func(id int) float64 { return weights[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against brute-force enumeration.
+	paths, err := net.G.EnumeratePaths(net.S, net.T, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, p := range paths {
+		sum := 0.0
+		for _, id := range p {
+			sum += weights[id]
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	if math.Abs(dist-best) > 1e-9 {
+		t.Errorf("Dijkstra dist = %v, brute force = %v", dist, best)
+	}
+	sum := 0.0
+	for _, id := range path {
+		sum += weights[id]
+	}
+	if math.Abs(sum-dist) > 1e-9 {
+		t.Errorf("returned path weight %v ≠ reported dist %v", sum, dist)
+	}
+}
+
+func TestParallelLinks(t *testing.T) {
+	net, err := ParallelLinks(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.G.NumEdges(); got != 5 {
+		t.Errorf("NumEdges = %d, want 5", got)
+	}
+	paths, err := net.G.EnumeratePaths(net.S, net.T, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Errorf("found %d paths, want 5", len(paths))
+	}
+	if _, err := ParallelLinks(0); err == nil {
+		t.Error("ParallelLinks(0) accepted")
+	}
+}
+
+func TestLayeredConnectivity(t *testing.T) {
+	rng := prng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		net, err := Layered(4, 5, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.G.IsDAG() {
+			t.Fatal("layered network is not a DAG")
+		}
+		count, err := net.G.CountPaths(net.S, net.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Sign() <= 0 {
+			t.Fatal("layered network has no s-t path")
+		}
+	}
+}
+
+func TestLayeredValidation(t *testing.T) {
+	rng := prng.New(1)
+	if _, err := Layered(0, 3, 0.5, rng); err == nil {
+		t.Error("layers=0 accepted")
+	}
+	if _, err := Layered(2, 0, 0.5, rng); err == nil {
+		t.Error("width=0 accepted")
+	}
+	if _, err := Layered(2, 2, 1.5, rng); err == nil {
+		t.Error("p=1.5 accepted")
+	}
+}
+
+func TestBraess(t *testing.T) {
+	net, err := Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := net.G.EnumeratePaths(net.S, net.T, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 { // top, bottom, zig-zag
+		t.Errorf("Braess has %d paths, want 3", len(paths))
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("Grid(0,3) accepted")
+	}
+	if _, err := Grid(1, 1); err == nil {
+		t.Error("Grid(1,1) accepted (s == t)")
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	rng := prng.New(8)
+	for trial := 0; trial < 20; trial++ {
+		net, err := SeriesParallel(10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.G.IsDAG() {
+			t.Fatal("series-parallel network has a cycle")
+		}
+		count, err := net.G.CountPaths(net.S, net.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Sign() <= 0 {
+			t.Fatal("series-parallel network lost s-t connectivity")
+		}
+	}
+	if _, err := SeriesParallel(-1, rng); err == nil {
+		t.Error("negative ops accepted")
+	}
+}
+
+func TestRandBigSmallBound(t *testing.T) {
+	rng := prng.New(4)
+	bound := big.NewInt(7)
+	dst := new(big.Int)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		randBig(dst, bound, rng)
+		v := dst.Int64()
+		if v < 0 || v >= 7 {
+			t.Fatalf("randBig out of range: %v", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("value %d drawn %d times, want ≈ 1000", v, c)
+		}
+	}
+}
+
+func TestRandBigLargeBound(t *testing.T) {
+	rng := prng.New(4)
+	bound := new(big.Int).Lsh(big.NewInt(1), 100) // 2^100
+	dst := new(big.Int)
+	for i := 0; i < 100; i++ {
+		randBig(dst, bound, rng)
+		if dst.Sign() < 0 || dst.Cmp(bound) >= 0 {
+			t.Fatalf("randBig out of range: %v", dst)
+		}
+	}
+}

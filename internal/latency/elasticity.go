@@ -1,0 +1,140 @@
+package latency
+
+import "math"
+
+// elasticityGridSteps is the resolution of the numeric elasticity search.
+// The grid is geometric, so 512 steps over (0, n] resolve the sup location
+// to well under 2% multiplicative error before refinement.
+const elasticityGridSteps = 512
+
+// Elasticity returns an upper bound d on the elasticity of f over (0, n]:
+//
+//	d ≥ sup_{x∈(0,n]} ℓ'(x)·x / ℓ(x).
+//
+// If the function implements Elastic, its closed-form bound is used.
+// Otherwise the sup is located numerically on a geometric grid with local
+// refinement; the result is inflated by 1% to stay a sound upper bound for
+// well-behaved (smooth, unimodal-elasticity) functions. Results below zero
+// are clamped to zero, and the protocol's requirement d ≥ 1 is NOT applied
+// here — see ProtocolElasticity.
+func Elasticity(f Function, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if e, ok := f.(Elastic); ok {
+		return math.Max(0, e.ElasticityBound(n))
+	}
+	return numericElasticity(f, n)
+}
+
+// ProtocolElasticity returns the damping parameter d the IMITATION PROTOCOL
+// uses for the given functions over loads (0, n]: the maximum elasticity
+// across all functions, floored at 1 (the protocol divides by d, and the
+// paper assumes d ≥ 1).
+func ProtocolElasticity(fns []Function, n float64) float64 {
+	d := 1.0
+	for _, f := range fns {
+		if e := Elasticity(f, n); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+func numericElasticity(f Function, n float64) float64 {
+	lo := n / 1e6
+	best := 0.0
+	bestX := lo
+	// Geometric sweep over (lo, n].
+	ratio := math.Pow(n/lo, 1/float64(elasticityGridSteps))
+	x := lo
+	for i := 0; i <= elasticityGridSteps; i++ {
+		if e := pointElasticity(f, x); e > best {
+			best = e
+			bestX = x
+		}
+		x *= ratio
+	}
+	// Local refinement around the best grid point.
+	left := bestX / ratio
+	right := math.Min(bestX*ratio, n)
+	for i := 0; i < 64; i++ {
+		m1 := left + (right-left)/3
+		m2 := right - (right-left)/3
+		if pointElasticity(f, m1) < pointElasticity(f, m2) {
+			left = m1
+		} else {
+			right = m2
+		}
+	}
+	if e := pointElasticity(f, (left+right)/2); e > best {
+		best = e
+	}
+	return best * 1.01 // sound-side inflation for smooth functions
+}
+
+func pointElasticity(f Function, x float64) float64 {
+	v := f.Value(x)
+	if v <= 0 {
+		return 0
+	}
+	return f.Derivative(x) * x / v
+}
+
+// SlopeBound returns ν_e = max_{x∈{1,…,maxLoad}} ℓ(x) − ℓ(x−1), the paper's
+// bound on the per-player latency step on almost-empty resources. The paper
+// takes maxLoad = ⌈d⌉ (the elasticity bound); callers pass that value.
+// maxLoad below 1 is treated as 1.
+func SlopeBound(f Function, maxLoad int) float64 {
+	if maxLoad < 1 {
+		maxLoad = 1
+	}
+	best := 0.0
+	for x := 1; x <= maxLoad; x++ {
+		if step := f.Value(float64(x)) - f.Value(float64(x-1)); step > best {
+			best = step
+		}
+	}
+	return best
+}
+
+// MaxSlopeBound returns max over the given functions of SlopeBound.
+func MaxSlopeBound(fns []Function, maxLoad int) float64 {
+	best := 0.0
+	for _, f := range fns {
+		if s := SlopeBound(f, maxLoad); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Validate numerically checks the standing assumptions of the paper on
+// (0, n]: ℓ non-decreasing and ℓ(x) > 0 for x > 0. It returns a descriptive
+// error for the first violation found, or nil. The check samples a fine
+// grid; it is intended for test-time and construction-time sanity checking,
+// not as a proof.
+func Validate(f Function, n float64) error {
+	if n <= 0 {
+		return nil
+	}
+	const steps = 1024
+	prev := f.Value(0)
+	if prev < 0 {
+		return errNegative(f, 0, prev)
+	}
+	for i := 1; i <= steps; i++ {
+		x := n * float64(i) / steps
+		v := f.Value(x)
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			return errNonFinite(f, x, v)
+		case v <= 0:
+			return errNegative(f, x, v)
+		case v < prev-1e-12*math.Abs(prev):
+			return errDecreasing(f, x, prev, v)
+		}
+		prev = v
+	}
+	return nil
+}

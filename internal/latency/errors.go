@@ -1,0 +1,15 @@
+package latency
+
+import "fmt"
+
+func errNegative(f Function, x, v float64) error {
+	return fmt.Errorf("%w: %s has non-positive value %v at x=%v", ErrInvalid, f, v, x)
+}
+
+func errNonFinite(f Function, x, v float64) error {
+	return fmt.Errorf("%w: %s has non-finite value %v at x=%v", ErrInvalid, f, v, x)
+}
+
+func errDecreasing(f Function, x, prev, v float64) error {
+	return fmt.Errorf("%w: %s decreases near x=%v (%v -> %v)", ErrInvalid, f, x, prev, v)
+}

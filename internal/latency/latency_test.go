@@ -1,0 +1,563 @@
+package latency
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConstant(t *testing.T) {
+	tests := []struct {
+		name    string
+		c       float64
+		wantErr bool
+	}{
+		{name: "positive", c: 3.5, wantErr: false},
+		{name: "one", c: 1, wantErr: false},
+		{name: "zero", c: 0, wantErr: true},
+		{name: "negative", c: -1, wantErr: true},
+		{name: "nan", c: math.NaN(), wantErr: true},
+		{name: "inf", c: math.Inf(1), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f, err := NewConstant(tt.c)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewConstant(%v) error = %v, wantErr %v", tt.c, err, tt.wantErr)
+			}
+			if err == nil && f.Value(17) != tt.c {
+				t.Errorf("Value(17) = %v, want %v", f.Value(17), tt.c)
+			}
+		})
+	}
+}
+
+func TestConstantBehaviour(t *testing.T) {
+	f, err := NewConstant(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Derivative(100); got != 0 {
+		t.Errorf("Derivative = %v, want 0", got)
+	}
+	if got := Elasticity(f, 1000); got != 0 {
+		t.Errorf("Elasticity = %v, want 0", got)
+	}
+	if got := SlopeBound(f, 5); got != 0 {
+		t.Errorf("SlopeBound = %v, want 0", got)
+	}
+}
+
+func TestNewAffine(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    float64
+		wantErr bool
+	}{
+		{name: "both positive", a: 2, b: 3, wantErr: false},
+		{name: "pure linear", a: 2, b: 0, wantErr: false},
+		{name: "pure constant", a: 0, b: 3, wantErr: false},
+		{name: "zero", a: 0, b: 0, wantErr: true},
+		{name: "negative slope", a: -1, b: 3, wantErr: true},
+		{name: "negative offset", a: 1, b: -3, wantErr: true},
+		{name: "nan slope", a: math.NaN(), b: 0, wantErr: true},
+		{name: "inf offset", a: 1, b: math.Inf(1), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewAffine(tt.a, tt.b)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewAffine(%v,%v) error = %v, wantErr %v", tt.a, tt.b, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAffineValueDerivative(t *testing.T) {
+	f, err := NewAffine(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Value(5), 13.0; got != want {
+		t.Errorf("Value(5) = %v, want %v", got, want)
+	}
+	if got, want := f.Derivative(5), 2.0; got != want {
+		t.Errorf("Derivative(5) = %v, want %v", got, want)
+	}
+}
+
+func TestAffineElasticity(t *testing.T) {
+	pure, err := NewLinear(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Elasticity(pure, 100); got != 1 {
+		t.Errorf("pure linear elasticity = %v, want 1", got)
+	}
+	withOffset, err := NewAffine(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a·n/(a·n+b) = 100/109.
+	if got, want := Elasticity(withOffset, 100), 100.0/109.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("affine elasticity = %v, want %v", got, want)
+	}
+}
+
+func TestNewLinearRejectsNonPositive(t *testing.T) {
+	if _, err := NewLinear(0); err == nil {
+		t.Error("NewLinear(0) succeeded, want error")
+	}
+	if _, err := NewLinear(-2); err == nil {
+		t.Error("NewLinear(-2) succeeded, want error")
+	}
+}
+
+func TestNewMonomial(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, d    float64
+		wantErr bool
+	}{
+		{name: "quadratic", a: 1, d: 2, wantErr: false},
+		{name: "linear", a: 0.5, d: 1, wantErr: false},
+		{name: "fractional degree", a: 1, d: 1.5, wantErr: false},
+		{name: "degree below one", a: 1, d: 0.5, wantErr: true},
+		{name: "zero coefficient", a: 0, d: 2, wantErr: true},
+		{name: "negative coefficient", a: -1, d: 2, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewMonomial(tt.a, tt.d)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewMonomial(%v,%v) error = %v, wantErr %v", tt.a, tt.d, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMonomialElasticityIsDegree(t *testing.T) {
+	for _, d := range []float64{1, 2, 3, 5, 8} {
+		f, err := NewMonomial(2.5, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Elasticity(f, 1e6); got != d {
+			t.Errorf("Elasticity(x^%v) = %v, want %v", d, got, d)
+		}
+	}
+}
+
+func TestNewPolynomial(t *testing.T) {
+	tests := []struct {
+		name    string
+		coeffs  []float64
+		wantErr bool
+	}{
+		{name: "affine", coeffs: []float64{1, 2}, wantErr: false},
+		{name: "cubic", coeffs: []float64{0, 0, 0, 4}, wantErr: false},
+		{name: "empty", coeffs: nil, wantErr: true},
+		{name: "all zero", coeffs: []float64{0, 0}, wantErr: true},
+		{name: "negative", coeffs: []float64{1, -2}, wantErr: true},
+		{name: "nan", coeffs: []float64{math.NaN()}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPolynomial(tt.coeffs...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewPolynomial(%v) error = %v, wantErr %v", tt.coeffs, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPolynomialDegreeTrimsZeros(t *testing.T) {
+	f, err := NewPolynomial(1, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Degree(); got != 1 {
+		t.Errorf("Degree = %d, want 1", got)
+	}
+}
+
+func TestPolynomialHorner(t *testing.T) {
+	f, err := NewPolynomial(1, 2, 3) // 1 + 2x + 3x²
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Value(2), 17.0; got != want {
+		t.Errorf("Value(2) = %v, want %v", got, want)
+	}
+	if got, want := f.Derivative(2), 14.0; got != want { // 2 + 6x
+		t.Errorf("Derivative(2) = %v, want %v", got, want)
+	}
+}
+
+func TestPolynomialElasticityBoundedByDegree(t *testing.T) {
+	f, err := NewPolynomial(5, 0, 1) // 5 + x²
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Elasticity(f, 1000)
+	if e > 2 {
+		t.Errorf("Elasticity = %v, want ≤ degree 2", e)
+	}
+	if e < 1.5 {
+		t.Errorf("Elasticity = %v, suspiciously far below degree 2 at n=1000", e)
+	}
+}
+
+func TestPolynomialCoeffsCopied(t *testing.T) {
+	in := []float64{1, 2}
+	f, err := NewPolynomial(in...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99
+	if f.Value(0) != 1 {
+		t.Error("NewPolynomial aliased its input slice")
+	}
+	out := f.Coeffs()
+	out[0] = 99
+	if f.Value(0) != 1 {
+		t.Error("Coeffs leaked internal state")
+	}
+}
+
+func TestNewExponential(t *testing.T) {
+	if _, err := NewExponential(1, 0.5); err != nil {
+		t.Fatalf("NewExponential(1,0.5) error = %v", err)
+	}
+	if _, err := NewExponential(0, 0.5); err == nil {
+		t.Error("NewExponential(0,·) succeeded, want error")
+	}
+	if _, err := NewExponential(1, -0.5); err == nil {
+		t.Error("NewExponential(·,-0.5) succeeded, want error")
+	}
+}
+
+func TestExponentialElasticity(t *testing.T) {
+	f, err := NewExponential(2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Elasticity(f, 8), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Elasticity = %v, want %v", got, want)
+	}
+}
+
+func TestScaledMatchesBase(t *testing.T) {
+	base, err := NewMonomial(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewScaled(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Value(20), base.Value(2); got != want {
+		t.Errorf("Scaled.Value(20) = %v, want %v", got, want)
+	}
+	if got, want := f.Derivative(20), base.Derivative(2)/10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Scaled.Derivative(20) = %v, want %v", got, want)
+	}
+}
+
+func TestScaledElasticityUnchanged(t *testing.T) {
+	base, err := NewMonomial(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewScaled(base, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Elasticity(f, 100); got != 3 {
+		t.Errorf("scaled monomial elasticity = %v, want 3", got)
+	}
+}
+
+func TestScaledShrinksSlope(t *testing.T) {
+	base, err := NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewScaled(base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := SlopeBound(f, 1), 1.0/50.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SlopeBound = %v, want %v", got, want)
+	}
+}
+
+func TestNewScaledValidation(t *testing.T) {
+	base, _ := NewLinear(1)
+	if _, err := NewScaled(nil, 10); err == nil {
+		t.Error("NewScaled(nil,·) succeeded, want error")
+	}
+	if _, err := NewScaled(base, 0); err == nil {
+		t.Error("NewScaled(·,0) succeeded, want error")
+	}
+}
+
+func TestNewPiecewise(t *testing.T) {
+	tests := []struct {
+		name    string
+		vals    []float64
+		wantErr bool
+	}{
+		{name: "increasing", vals: []float64{0, 1, 4, 9}, wantErr: false},
+		{name: "flat segments", vals: []float64{1, 1, 2}, wantErr: false},
+		{name: "too short", vals: []float64{1}, wantErr: true},
+		{name: "decreasing", vals: []float64{2, 1}, wantErr: true},
+		{name: "zero at one", vals: []float64{0, 0, 1}, wantErr: true},
+		{name: "negative", vals: []float64{-1, 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPiecewise(tt.vals...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewPiecewise(%v) error = %v, wantErr %v", tt.vals, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPiecewiseInterpolationAndExtension(t *testing.T) {
+	f, err := NewPiecewise(0, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{x: 0, want: 0},
+		{x: 0.5, want: 1},
+		{x: 1, want: 2},
+		{x: 1.5, want: 4},
+		{x: 2, want: 6},
+		{x: 3, want: 10}, // extended with last slope 4
+	}
+	for _, tt := range tests {
+		if got := f.Value(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Value(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got, want := f.Derivative(2.5), 4.0; got != want {
+		t.Errorf("Derivative(2.5) = %v, want %v", got, want)
+	}
+}
+
+func TestNewMM1(t *testing.T) {
+	if _, err := NewMM1(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewMM1(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	f, err := NewMM1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Value(0), 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value(0) = %v, want %v", got, want)
+	}
+	if got, want := f.Value(5), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value(5) = %v, want %v", got, want)
+	}
+	// Clamped at 9.9: finite even past capacity.
+	if got := f.Value(50); math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("Value(50) = %v, want finite positive", got)
+	}
+	if err := Validate(f, 9); err != nil {
+		t.Errorf("Validate(MM1, 9) = %v", err)
+	}
+}
+
+func TestMM1Elasticity(t *testing.T) {
+	f, err := NewMM1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At n = 5: elasticity 5/(10−5) = 1.
+	if got := Elasticity(f, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Elasticity at n=5 = %v, want 1", got)
+	}
+	// Near capacity the damping bound blows up: 9/(10−9) = 9.
+	if got := Elasticity(f, 9); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Elasticity at n=9 = %v, want 9", got)
+	}
+}
+
+func TestSlopeBound(t *testing.T) {
+	quad, err := NewMonomial(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps: 1, 3, 5 for loads 1..3; max over first 2 is 3.
+	if got := SlopeBound(quad, 2); got != 3 {
+		t.Errorf("SlopeBound(x², 2) = %v, want 3", got)
+	}
+	if got := SlopeBound(quad, 0); got != 1 {
+		t.Errorf("SlopeBound(x², 0) = %v, want 1 (clamped to maxLoad 1)", got)
+	}
+}
+
+func TestMaxSlopeBound(t *testing.T) {
+	a, _ := NewLinear(2)
+	b, _ := NewMonomial(1, 2)
+	got := MaxSlopeBound([]Function{a, b}, 3)
+	if got != 5 { // x² step from 2 to 3 is 5 > linear slope 2
+		t.Errorf("MaxSlopeBound = %v, want 5", got)
+	}
+}
+
+func TestProtocolElasticityFloorsAtOne(t *testing.T) {
+	c, _ := NewConstant(5)
+	if got := ProtocolElasticity([]Function{c}, 100); got != 1 {
+		t.Errorf("ProtocolElasticity(const) = %v, want 1", got)
+	}
+	m, _ := NewMonomial(1, 4)
+	if got := ProtocolElasticity([]Function{c, m}, 100); got != 4 {
+		t.Errorf("ProtocolElasticity(const, x⁴) = %v, want 4", got)
+	}
+}
+
+func TestNumericElasticityFallback(t *testing.T) {
+	// Piecewise does not implement Elastic, so Elasticity uses the numeric
+	// path. For the linear table 1,2,3,... (i.e. x+1), elasticity at n is
+	// n/(n+1) < 1.
+	f, err := NewPiecewise(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Elasticity(f, 8)
+	want := 8.0 / 9.0
+	if got < want*0.95 || got > want*1.1 {
+		t.Errorf("numeric elasticity = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := NewAffine(1, 1)
+	if err := Validate(good, 100); err != nil {
+		t.Errorf("Validate(x+1) = %v, want nil", err)
+	}
+	bad, _ := NewPiecewise(0, 1, 2) // ℓ(0)=0 is allowed (x>0 must be positive)
+	if err := Validate(bad, 2); err != nil {
+		t.Errorf("Validate(pw starting at 0) = %v, want nil", err)
+	}
+	if err := Validate(decreasing{}, 10); err == nil {
+		t.Error("Validate(decreasing) = nil, want error")
+	}
+	if err := Validate(negative{}, 10); err == nil {
+		t.Error("Validate(negative) = nil, want error")
+	}
+}
+
+// decreasing is a deliberately invalid function for Validate tests.
+type decreasing struct{}
+
+func (decreasing) Value(x float64) float64    { return 100 - x }
+func (decreasing) Derivative(float64) float64 { return -1 }
+func (decreasing) String() string             { return "100-x" }
+
+// negative is a deliberately invalid function for Validate tests.
+type negative struct{}
+
+func (negative) Value(x float64) float64    { return -1 }
+func (negative) Derivative(float64) float64 { return 0 }
+func (negative) String() string             { return "-1" }
+
+func TestStringRendering(t *testing.T) {
+	mk := func(f Function, err error) Function {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	tests := []struct {
+		f    Function
+		want string
+	}{
+		{mk(NewConstant(3)), "3"},
+		{mk(NewLinear(2)), "2x"},
+		{mk(NewAffine(2, 1)), "2x+1"},
+		{mk(NewAffine(0, 7)), "7"},
+		{mk(NewMonomial(4, 2)), "4x^2"},
+		{mk(NewPolynomial(1, 0, 3)), "3x^2+1"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	exp := mk(NewExponential(1, 2))
+	if !strings.Contains(exp.String(), "e^") {
+		t.Errorf("Exponential.String() = %q, want e^ notation", exp.String())
+	}
+}
+
+// Property: polynomials with random non-negative coefficients are
+// non-decreasing, positive on x>0, and have numeric elasticity bounded by
+// their degree.
+func TestPolynomialProperties(t *testing.T) {
+	prop := func(c0, c1, c2, c3 uint8, xRaw uint16) bool {
+		coeffs := []float64{float64(c0), float64(c1), float64(c2), float64(c3)}
+		f, err := NewPolynomial(coeffs...)
+		if err != nil {
+			// All-zero draw: the only rejection reason for uint8 inputs.
+			return c0 == 0 && c1 == 0 && c2 == 0 && c3 == 0
+		}
+		x := float64(xRaw%1000) + 1
+		if f.Value(x) <= 0 {
+			return false
+		}
+		if f.Value(x+1) < f.Value(x) {
+			return false
+		}
+		return Elasticity(f, 1000) <= float64(f.Degree())+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: elasticity correctly predicts the growth bound
+// ℓ(αx) ≤ ℓ(x)·α^d for α ≥ 1 (paper, Section 2.2).
+func TestElasticityGrowthBound(t *testing.T) {
+	fns := []Function{}
+	m, _ := NewMonomial(2, 3)
+	a, _ := NewAffine(1, 5)
+	p, _ := NewPolynomial(1, 2, 0, 1)
+	fns = append(fns, m, a, p)
+	for _, f := range fns {
+		d := Elasticity(f, 1e4)
+		for _, x := range []float64{0.5, 1, 3, 17, 100} {
+			for _, alpha := range []float64{1, 1.5, 2, 10} {
+				lhs := f.Value(alpha * x)
+				rhs := f.Value(x) * math.Pow(alpha, d)
+				if lhs > rhs*(1+1e-9) {
+					t.Errorf("%s: ℓ(%v·%v)=%v > ℓ(%v)·α^d=%v", f, alpha, x, lhs, x, rhs)
+				}
+			}
+		}
+	}
+}
+
+// Property: SlopeBound is monotone in maxLoad for convex functions.
+func TestSlopeBoundMonotone(t *testing.T) {
+	f, _ := NewMonomial(1, 2)
+	prev := 0.0
+	for d := 1; d <= 10; d++ {
+		s := SlopeBound(f, d)
+		if s < prev {
+			t.Fatalf("SlopeBound(x², %d) = %v < SlopeBound at %d = %v", d, s, d-1, prev)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,234 @@
+package netopt
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/graph"
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustConstant(t *testing.T, c float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewConstant(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// pigou builds the classic Pigou network: two parallel links, ℓ₁(x) = x
+// and ℓ₂(x) = 1, demand 1. Wardrop: everyone on link 1 (cost 1);
+// optimum: half/half (cost 3/4); PoA = 4/3 — the tight linear bound.
+func pigou(t *testing.T) (graph.Network, []latency.Function) {
+	t.Helper()
+	net, err := graph.ParallelLinks(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, []latency.Function{mustLinear(t, 1), mustConstant(t, 1)}
+}
+
+func TestSolveValidation(t *testing.T) {
+	net, fns := pigou(t)
+	if _, err := Solve(net, fns[:1], 1, Wardrop, Options{}); err == nil {
+		t.Error("wrong function count accepted")
+	}
+	if _, err := Solve(net, fns, 0, Wardrop, Options{}); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := Solve(net, fns, 1, Objective(9), Options{}); err == nil {
+		t.Error("bad objective accepted")
+	}
+}
+
+func TestPigouWardrop(t *testing.T) {
+	net, fns := pigou(t)
+	flow, err := Solve(net, fns, 1, Wardrop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All flow on the variable link; cost 1.
+	if math.Abs(flow.Edge[0]-1) > 1e-3 {
+		t.Errorf("variable-link flow = %v, want 1", flow.Edge[0])
+	}
+	if math.Abs(flow.Cost-1) > 1e-3 {
+		t.Errorf("Wardrop cost = %v, want 1", flow.Cost)
+	}
+}
+
+func TestPigouOptimum(t *testing.T) {
+	net, fns := pigou(t)
+	flow, err := Solve(net, fns, 1, SystemOptimum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum splits half/half: cost = 0.5·0.5 + 0.5·1 = 0.75.
+	if math.Abs(flow.Edge[0]-0.5) > 1e-3 {
+		t.Errorf("variable-link flow = %v, want 0.5", flow.Edge[0])
+	}
+	if math.Abs(flow.Cost-0.75) > 1e-3 {
+		t.Errorf("optimum cost = %v, want 0.75", flow.Cost)
+	}
+}
+
+func TestPigouPriceOfAnarchy(t *testing.T) {
+	net, fns := pigou(t)
+	poa, err := PriceOfAnarchy(net, fns, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(poa-4.0/3) > 5e-3 {
+		t.Errorf("PoA = %v, want 4/3", poa)
+	}
+}
+
+func TestBraessWardrop(t *testing.T) {
+	// Classic Braess with demand 1: ℓ(s,a)=x, ℓ(s,b)=1, ℓ(a,t)=1,
+	// ℓ(b,t)=x, shortcut (a,b)≈0. Wardrop: all on the zig-zag, cost ≈ 2;
+	// optimum ignores the shortcut: cost 1.5; PoA → 4/3.
+	net, err := graph.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := latency.NewConstant(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge order: (s,a)=0, (s,b)=1, (a,t)=2, (b,t)=3, (a,b)=4.
+	fns := []latency.Function{
+		mustLinear(t, 1), mustConstant(t, 1), mustConstant(t, 1), mustLinear(t, 1), tiny,
+	}
+	we, err := Solve(net, fns, 1, Wardrop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(we.Cost-2) > 5e-3 {
+		t.Errorf("Braess Wardrop cost = %v, want ≈ 2", we.Cost)
+	}
+	if we.Edge[4] < 0.99 {
+		t.Errorf("shortcut flow = %v, want ≈ 1", we.Edge[4])
+	}
+	so, err := Solve(net, fns, 1, SystemOptimum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(so.Cost-1.5) > 5e-3 {
+		t.Errorf("Braess optimum cost = %v, want 1.5", so.Cost)
+	}
+}
+
+func TestWardropFlowSatisfiesEquilibriumCondition(t *testing.T) {
+	// On random layered networks the Wardrop flow's average cost must
+	// match the shortest-path cost (no used path is beatable).
+	rng := prng.New(7)
+	for trial := 0; trial < 5; trial++ {
+		net, err := graph.Layered(3, 3, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns := make([]latency.Function, net.G.NumEdges())
+		for e := range fns {
+			f, err := latency.NewAffine(0.5+rng.Float64(), rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fns[e] = f
+		}
+		flow, err := Solve(net, fns, 5, Wardrop, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := MaxPathLatencyGap(net, fns, flow, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > 0.01*flow.Cost {
+			t.Errorf("trial %d: Wardrop gap %v vs cost %v", trial, gap, flow.Cost)
+		}
+	}
+}
+
+func TestLinearPoABoundedByFourThirds(t *testing.T) {
+	// Roughgarden–Tardos: nonatomic PoA ≤ 4/3 for affine latencies.
+	rng := prng.New(11)
+	for trial := 0; trial < 8; trial++ {
+		net, err := graph.Layered(2, 3, 0.6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns := make([]latency.Function, net.G.NumEdges())
+		for e := range fns {
+			f, err := latency.NewAffine(0.2+rng.Float64(), rng.Float64()*2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fns[e] = f
+		}
+		poa, err := PriceOfAnarchy(net, fns, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if poa > 4.0/3+0.01 {
+			t.Errorf("trial %d: affine PoA = %v > 4/3", trial, poa)
+		}
+		if poa < 1-1e-6 {
+			t.Errorf("trial %d: PoA = %v < 1", trial, poa)
+		}
+	}
+}
+
+func TestSystemOptimumNeverWorseThanWardrop(t *testing.T) {
+	rng := prng.New(13)
+	net, err := graph.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]latency.Function, net.G.NumEdges())
+	for e := range fns {
+		f, err := latency.NewAffine(0.5+rng.Float64(), rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[e] = f
+	}
+	we, err := Solve(net, fns, 4, Wardrop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := Solve(net, fns, 4, SystemOptimum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Cost > we.Cost+1e-6 {
+		t.Errorf("optimum cost %v exceeds Wardrop cost %v", so.Cost, we.Cost)
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	net, fns := pigou(t)
+	flow, err := Solve(net, fns, 7, Wardrop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := flow.Edge[0] + flow.Edge[1]
+	if math.Abs(total-7) > 1e-6 {
+		t.Errorf("total flow = %v, want 7", total)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Wardrop.String() != "wardrop" || SystemOptimum.String() != "system-optimum" {
+		t.Error("objective names wrong")
+	}
+}

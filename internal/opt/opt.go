@@ -1,0 +1,300 @@
+// Package opt computes reference costs for the paper's quality metrics: the
+// optimal fractional assignment of linear singleton games (closed form, the
+// baseline of Theorem 10's Price of Imitation), an exact integral optimum
+// for singleton games via dynamic programming, and a brute-force optimum for
+// tiny general games.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"congame/internal/game"
+	"congame/internal/latency"
+)
+
+// ErrInvalid reports an invalid optimization query.
+var ErrInvalid = errors.New("opt: invalid")
+
+// LinearSlopes extracts the slope a_e of every resource of a game whose
+// latency functions are all pure linear ℓ_e(x) = a_e·x. It returns an error
+// if any function is of a different shape.
+func LinearSlopes(g *game.Game) ([]float64, error) {
+	slopes := make([]float64, g.NumResources())
+	for e := 0; e < g.NumResources(); e++ {
+		f := g.Resource(e).Latency
+		switch fn := f.(type) {
+		case latency.Affine:
+			if fn.B != 0 {
+				return nil, fmt.Errorf("%w: resource %d has offset %v, want pure linear", ErrInvalid, e, fn.B)
+			}
+			slopes[e] = fn.A
+		case latency.Monomial:
+			if fn.D != 1 {
+				return nil, fmt.Errorf("%w: resource %d has degree %v, want 1", ErrInvalid, e, fn.D)
+			}
+			slopes[e] = fn.A
+		default:
+			return nil, fmt.Errorf("%w: resource %d has non-linear latency %s", ErrInvalid, e, f)
+		}
+		if slopes[e] <= 0 {
+			return nil, fmt.Errorf("%w: resource %d has non-positive slope %v", ErrInvalid, e, slopes[e])
+		}
+	}
+	return slopes, nil
+}
+
+// Fractional is the optimal fractional solution of a linear singleton game
+// (Section 5.1): x̃_e = n/(A_Γ·a_e) with A_Γ = Σ_e 1/a_e. Every resource has
+// latency exactly n/A_Γ, which is also the average latency — the lower
+// bound the Price of Imitation is measured against.
+type Fractional struct {
+	// Loads is the fractional assignment x̃.
+	Loads []float64
+	// Cost is the social cost n/A_Γ (equal to every resource's latency).
+	Cost float64
+	// AGamma is A_Γ = Σ_e 1/a_e.
+	AGamma float64
+}
+
+// FractionalLinearSingleton computes the closed-form optimal fractional
+// solution for a linear singleton game.
+func FractionalLinearSingleton(g *game.Game) (Fractional, error) {
+	if !g.IsSingleton() {
+		return Fractional{}, fmt.Errorf("%w: game is not singleton", ErrInvalid)
+	}
+	slopes, err := LinearSlopes(g)
+	if err != nil {
+		return Fractional{}, err
+	}
+	a := 0.0
+	for _, s := range slopes {
+		a += 1 / s
+	}
+	n := float64(g.NumPlayers())
+	f := Fractional{Loads: make([]float64, len(slopes)), Cost: n / a, AGamma: a}
+	for e, s := range slopes {
+		f.Loads[e] = n / (a * s)
+	}
+	return f, nil
+}
+
+// UselessResources returns the indices of resources whose optimal fractional
+// load is below 1 (Section 5.1 calls these "useless": they artificially
+// inflate ν without helping the optimum).
+func UselessResources(g *game.Game) ([]int, error) {
+	f, err := FractionalLinearSingleton(g)
+	if err != nil {
+		return nil, err
+	}
+	var useless []int
+	for e, load := range f.Loads {
+		if load < 1 {
+			useless = append(useless, e)
+		}
+	}
+	return useless, nil
+}
+
+// SingletonOptimum computes an exact optimal integral assignment for a
+// singleton game (arbitrary latency functions) by dynamic programming over
+// resources: minimize Σ_e x_e·ℓ_e(x_e) subject to Σ_e x_e = n. Runtime is
+// O(m·n²), fine for the experiment scales in this repository.
+type SingletonOptimum struct {
+	// Loads is an optimal integral assignment.
+	Loads []int64
+	// Cost is the optimal social cost (average latency).
+	Cost float64
+}
+
+// SolveSingleton computes SingletonOptimum for the given game.
+func SolveSingleton(g *game.Game) (SingletonOptimum, error) {
+	if !g.IsSingleton() {
+		return SingletonOptimum{}, fmt.Errorf("%w: game is not singleton", ErrInvalid)
+	}
+	n := g.NumPlayers()
+	m := g.NumResources()
+	// dp[k] = min total weighted latency using resources processed so far
+	// with k players placed; choice[e][k] = players on resource e.
+	dp := make([]float64, n+1)
+	next := make([]float64, n+1)
+	choice := make([][]int16, m)
+	for k := 1; k <= n; k++ {
+		dp[k] = math.Inf(1)
+	}
+	for e := 0; e < m; e++ {
+		f := g.Resource(e).Latency
+		cost := make([]float64, n+1)
+		for x := 1; x <= n; x++ {
+			cost[x] = float64(x) * f.Value(float64(x))
+		}
+		choice[e] = make([]int16, n+1)
+		for k := 0; k <= n; k++ {
+			best := math.Inf(1)
+			bestX := 0
+			for x := 0; x <= k; x++ {
+				if dp[k-x] == math.Inf(1) {
+					continue
+				}
+				if c := dp[k-x] + cost[x]; c < best {
+					best = c
+					bestX = x
+				}
+			}
+			next[k] = best
+			choice[e][k] = int16(bestX)
+		}
+		dp, next = next, dp
+	}
+	if math.IsInf(dp[n], 1) {
+		return SingletonOptimum{}, fmt.Errorf("%w: no feasible assignment", ErrInvalid)
+	}
+	opt := SingletonOptimum{Loads: make([]int64, m), Cost: dp[n] / float64(n)}
+	k := n
+	for e := m - 1; e >= 0; e-- {
+		x := int(choice[e][k])
+		opt.Loads[e] = int64(x)
+		k -= x
+	}
+	if k != 0 {
+		return SingletonOptimum{}, fmt.Errorf("%w: DP reconstruction failed (leftover %d)", ErrInvalid, k)
+	}
+	return opt, nil
+}
+
+// MinPotentialSingleton computes Φ* = min_x Φ(x) exactly for a singleton
+// game. Φ separates across links (Φ = Σ_e Σ_{i=1}^{x_e} ℓ_e(i)) with
+// non-decreasing per-unit marginals ℓ_e(x_e+1), so greedy marginal
+// allocation — always placing the next player on the link with the
+// cheapest next unit — is exact (classic separable-convex resource
+// allocation). The minimizers are exactly the Nash equilibria (Rosenthal),
+// so this also yields an equilibrium assignment. Runtime O(n·log m).
+func MinPotentialSingleton(g *game.Game) (SingletonOptimum, error) {
+	if !g.IsSingleton() {
+		return SingletonOptimum{}, fmt.Errorf("%w: game is not singleton", ErrInvalid)
+	}
+	n := g.NumPlayers()
+	m := g.NumResources()
+	out := SingletonOptimum{Loads: make([]int64, m)}
+
+	// Min-heap of (marginal cost of the next unit, link).
+	type item struct {
+		cost float64
+		e    int
+	}
+	heap := make([]item, 0, m)
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].cost <= heap[i].cost {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && heap[l].cost < heap[smallest].cost {
+				smallest = l
+			}
+			if r < len(heap) && heap[r].cost < heap[smallest].cost {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+
+	for e := 0; e < m; e++ {
+		push(item{cost: g.Resource(e).Latency.Value(1), e: e})
+	}
+	for placed := 0; placed < n; placed++ {
+		it := pop()
+		out.Cost += it.cost
+		out.Loads[it.e]++
+		push(item{cost: g.Resource(it.e).Latency.Value(float64(out.Loads[it.e] + 1)), e: it.e})
+	}
+	return out, nil
+}
+
+// BruteForceOptimum minimizes social cost over all distributions of n
+// players onto the registered strategies of a (small) general game. The
+// search space is C(n+k−1, k−1) count vectors; maxStates caps it
+// (0 = 2,000,000). It returns an error if the cap is exceeded.
+func BruteForceOptimum(g *game.Game, maxStates int) (float64, []int64, error) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	n := g.NumPlayers()
+	k := g.NumStrategies()
+	counts := make([]int64, k)
+	bestCounts := make([]int64, k)
+	best := math.Inf(1)
+	visited := 0
+
+	var recurse func(strategy, remaining int) error
+	recurse = func(strategy, remaining int) error {
+		if strategy == k-1 {
+			counts[strategy] = int64(remaining)
+			visited++
+			if visited > maxStates {
+				return fmt.Errorf("%w: more than %d states", ErrInvalid, maxStates)
+			}
+			if c := socialCostOfCounts(g, counts); c < best {
+				best = c
+				copy(bestCounts, counts)
+			}
+			return nil
+		}
+		for x := 0; x <= remaining; x++ {
+			counts[strategy] = int64(x)
+			if err := recurse(strategy+1, remaining-x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recurse(0, n); err != nil {
+		return 0, nil, err
+	}
+	return best, bestCounts, nil
+}
+
+func socialCostOfCounts(g *game.Game, counts []int64) float64 {
+	load := make([]int64, g.NumResources())
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		for _, e := range g.StrategyView(s) {
+			load[e] += c
+		}
+	}
+	total := 0.0
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lat := 0.0
+		for _, e := range g.StrategyView(s) {
+			lat += g.Resource(int(e)).Latency.Value(float64(load[e]))
+		}
+		total += float64(c) * lat
+	}
+	return total / float64(g.NumPlayers())
+}

@@ -1,0 +1,355 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+func linearSingleton(t *testing.T, n int, slopes ...float64) *game.Game {
+	t.Helper()
+	resources := make([]game.Resource, len(slopes))
+	strategies := make([][]int, len(slopes))
+	for i, a := range slopes {
+		f, err := latency.NewLinear(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[i] = game.Resource{Latency: f}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinearSlopes(t *testing.T) {
+	g := linearSingleton(t, 4, 2, 5)
+	slopes, err := LinearSlopes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slopes[0] != 2 || slopes[1] != 5 {
+		t.Errorf("slopes = %v", slopes)
+	}
+}
+
+func TestLinearSlopesRejectsOffsets(t *testing.T) {
+	aff, err := latency.NewAffine(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: aff}},
+		Players:    2,
+		Strategies: [][]int{{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinearSlopes(g); err == nil {
+		t.Error("offset accepted")
+	}
+}
+
+func TestLinearSlopesRejectsNonLinear(t *testing.T) {
+	mono, err := latency.NewMonomial(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: mono}},
+		Players:    2,
+		Strategies: [][]int{{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinearSlopes(g); err == nil {
+		t.Error("quadratic accepted")
+	}
+}
+
+func TestLinearSlopesAcceptsDegreeOneMonomial(t *testing.T) {
+	mono, err := latency.NewMonomial(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: mono}},
+		Players:    2,
+		Strategies: [][]int{{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopes, err := LinearSlopes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slopes[0] != 3 {
+		t.Errorf("slopes = %v, want [3]", slopes)
+	}
+}
+
+func TestFractionalLinearSingleton(t *testing.T) {
+	// Slopes 1 and 1: A = 2, cost = n/2, loads n/2 each.
+	g := linearSingleton(t, 10, 1, 1)
+	f, err := FractionalLinearSingleton(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cost != 5 {
+		t.Errorf("Cost = %v, want 5", f.Cost)
+	}
+	if f.Loads[0] != 5 || f.Loads[1] != 5 {
+		t.Errorf("Loads = %v, want [5 5]", f.Loads)
+	}
+	// All resources share the same latency in the fractional optimum.
+	g2 := linearSingleton(t, 12, 1, 2, 3)
+	f2, err := FractionalLinearSingleton(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopes := []float64{1, 2, 3}
+	for e, load := range f2.Loads {
+		if math.Abs(slopes[e]*load-f2.Cost) > 1e-9 {
+			t.Errorf("resource %d latency %v ≠ cost %v", e, slopes[e]*load, f2.Cost)
+		}
+	}
+	sum := f2.Loads[0] + f2.Loads[1] + f2.Loads[2]
+	if math.Abs(sum-12) > 1e-9 {
+		t.Errorf("fractional loads sum to %v, want 12", sum)
+	}
+}
+
+func TestFractionalRejectsNonSingleton(t *testing.T) {
+	lin, err := latency.NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}},
+		Players:    2,
+		Strategies: [][]int{{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FractionalLinearSingleton(g); err == nil {
+		t.Error("non-singleton accepted")
+	}
+}
+
+func TestUselessResources(t *testing.T) {
+	// n=4, slopes 1 and 1000: A ≈ 1.001, x̃_2 = 4/(1.001·1000) ≈ 0.004 < 1.
+	g := linearSingleton(t, 4, 1, 1000)
+	useless, err := UselessResources(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(useless) != 1 || useless[0] != 1 {
+		t.Errorf("useless = %v, want [1]", useless)
+	}
+}
+
+func TestSolveSingletonIdenticalLinks(t *testing.T) {
+	g := linearSingleton(t, 10, 1, 1)
+	sol, err := SolveSingleton(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Loads[0] != 5 || sol.Loads[1] != 5 {
+		t.Errorf("Loads = %v, want [5 5]", sol.Loads)
+	}
+	if sol.Cost != 5 {
+		t.Errorf("Cost = %v, want 5", sol.Cost)
+	}
+}
+
+func TestSolveSingletonAsymmetric(t *testing.T) {
+	// 3 players, slopes 1 and 4. Candidates (x0,x1):
+	// (3,0): cost 9/3=3; (2,1): (4+4)/3=8/3; (1,2): (1+16)/3; (0,3): 36/3.
+	g := linearSingleton(t, 3, 1, 4)
+	sol, err := SolveSingleton(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Loads[0] != 2 || sol.Loads[1] != 1 {
+		t.Errorf("Loads = %v, want [2 1]", sol.Loads)
+	}
+	if math.Abs(sol.Cost-8.0/3) > 1e-12 {
+		t.Errorf("Cost = %v, want 8/3", sol.Cost)
+	}
+}
+
+func TestSolveSingletonMatchesBruteForce(t *testing.T) {
+	rng := prng.New(13)
+	for trial := 0; trial < 10; trial++ {
+		slopes := make([]float64, 3)
+		for i := range slopes {
+			slopes[i] = 1 + rng.Float64()*5
+		}
+		g := linearSingleton(t, 7, slopes...)
+		dp, err := SolveSingleton(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, _, err := BruteForceOptimum(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp.Cost-bf) > 1e-9 {
+			t.Errorf("trial %d: DP cost %v, brute force %v (slopes %v)", trial, dp.Cost, bf, slopes)
+		}
+	}
+}
+
+func TestSolveSingletonLoadsFeasible(t *testing.T) {
+	g := linearSingleton(t, 13, 1, 2, 3, 4)
+	sol, err := SolveSingleton(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range sol.Loads {
+		if l < 0 {
+			t.Fatalf("negative load %d", l)
+		}
+		sum += l
+	}
+	if sum != 13 {
+		t.Errorf("loads sum to %d, want 13", sum)
+	}
+}
+
+func TestMinPotentialSingletonIsNash(t *testing.T) {
+	// On two identical unit links with 10 players, Φ* is attained at the
+	// 5/5 split: Φ = 2·(1+2+3+4+5) = 30.
+	g := linearSingleton(t, 10, 1, 1)
+	sol, err := MinPotentialSingleton(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Loads[0] != 5 || sol.Loads[1] != 5 {
+		t.Errorf("Loads = %v, want [5 5]", sol.Loads)
+	}
+	if sol.Cost != 30 {
+		t.Errorf("Φ* = %v, want 30", sol.Cost)
+	}
+}
+
+func TestMinPotentialMatchesStateEnumeration(t *testing.T) {
+	rng := prng.New(31)
+	for trial := 0; trial < 8; trial++ {
+		slopes := make([]float64, 3)
+		for i := range slopes {
+			slopes[i] = 0.5 + rng.Float64()*3
+		}
+		g := linearSingleton(t, 6, slopes...)
+		sol, err := MinPotentialSingleton(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force over all count vectors and compare Φ.
+		best := math.Inf(1)
+		var counts [3]int64
+		for a := 0; a <= 6; a++ {
+			for b := 0; a+b <= 6; b++ {
+				counts = [3]int64{int64(a), int64(b), int64(6 - a - b)}
+				phi := 0.0
+				for e, c := range counts {
+					for i := int64(1); i <= c; i++ {
+						phi += slopes[e] * float64(i)
+					}
+				}
+				if phi < best {
+					best = phi
+				}
+			}
+		}
+		if math.Abs(sol.Cost-best) > 1e-9 {
+			t.Errorf("trial %d: Φ* DP = %v, brute force = %v", trial, sol.Cost, best)
+		}
+	}
+}
+
+func TestMinPotentialSingletonRejectsNonSingleton(t *testing.T) {
+	lin, err := latency.NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}},
+		Players:    2,
+		Strategies: [][]int{{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinPotentialSingleton(g); err == nil {
+		t.Error("non-singleton accepted")
+	}
+}
+
+func TestBruteForceOptimumGeneral(t *testing.T) {
+	// Two-path game sharing a middle resource.
+	lin, err := latency.NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := game.New(game.Config{
+		Resources:  []game.Resource{{Latency: lin}, {Latency: lin}, {Latency: lin}},
+		Players:    4,
+		Strategies: [][]int{{0, 1}, {1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, counts, err := BruteForceOptimum(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared resource always has load 4; split 2-2 minimizes the outer
+	// loads: cost = (2·(2+4) + 2·(4+2))/4 = 6.
+	if math.Abs(cost-6) > 1e-12 {
+		t.Errorf("cost = %v, want 6", cost)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [2 2]", counts)
+	}
+}
+
+func TestBruteForceOptimumCap(t *testing.T) {
+	g := linearSingleton(t, 50, 1, 1, 1, 1, 1, 1)
+	if _, _, err := BruteForceOptimum(g, 10); err == nil {
+		t.Error("cap not enforced")
+	}
+}
+
+func TestFractionalLowerBoundsIntegral(t *testing.T) {
+	rng := prng.New(99)
+	for trial := 0; trial < 10; trial++ {
+		slopes := make([]float64, 4)
+		for i := range slopes {
+			slopes[i] = 0.5 + rng.Float64()*4
+		}
+		g := linearSingleton(t, 9, slopes...)
+		frac, err := FractionalLinearSingleton(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral, err := SolveSingleton(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if integral.Cost < frac.Cost-1e-9 {
+			t.Errorf("trial %d: integral cost %v below fractional bound %v", trial, integral.Cost, frac.Cost)
+		}
+	}
+}

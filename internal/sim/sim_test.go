@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID:      "T0",
+		Title:   "demo",
+		Claim:   "claim text",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x,y", 3)
+	tbl.AddNote("note %d", 7)
+
+	md := tbl.Markdown()
+	for _, want := range []string{"### T0 — demo", "| a | b |", "| 1 | 2.5 |", "> note 7", "*Claim:* claim text"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := tbl.Text()
+	if !strings.Contains(txt, "T0 — demo") || !strings.Contains(txt, "note: note 7") {
+		t.Errorf("text rendering:\n%s", txt)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "a,b\n") {
+		t.Errorf("csv header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "\"x,y\"") {
+		t.Errorf("csv quoting missing:\n%s", csv)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	}
+	for i, e := range exps {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d ID = %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E3"); !ok {
+		t.Error("ByID(E3) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+// TestAllExperimentsQuick is the integration test of the whole stack: every
+// experiment must run in Quick mode, produce a non-empty table, and satisfy
+// its basic shape assertion.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if len(tbl.Headers) == 0 {
+				t.Fatalf("%s has no headers", e.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Errorf("%s row %d has %d cells, want %d", e.ID, i, len(row), len(tbl.Headers))
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep skipped in -short mode")
+	}
+	// E1 is the cheapest full-stack experiment; identical seeds must yield
+	// identical tables.
+	e, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	cfg := Config{Seed: 11, Quick: true}
+	a, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Error("E1 not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, quantiles, histograms, and
+// least-squares fits (linear, logarithmic, power-law) for verifying the
+// scaling shapes the paper predicts (e.g. rounds ∝ log n for Theorem 7).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInvalid reports an invalid statistical query.
+var ErrInvalid = errors.New("stats: invalid")
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	StdErr float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics. It returns an error on empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("%w: empty sample", ErrInvalid)
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(len(xs)-1)
+		s.Std = math.Sqrt(s.Var)
+		s.StdErr = s.Std / math.Sqrt(float64(len(xs)))
+	}
+	return s, nil
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// sample mean.
+func (s Summary) CI95() float64 { return 1.96 * s.StdErr }
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive samples. It returns an
+// error if the sample is empty or contains non-positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrInvalid)
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("%w: geometric mean requires positive values, got %v", ErrInvalid, x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrInvalid)
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: quantile %v out of [0,1]", ErrInvalid, q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into `bins` equal-width buckets over [lo, hi].
+// Values outside the range are clamped into the boundary buckets.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (Histogram, error) {
+	if bins <= 0 {
+		return Histogram{}, fmt.Errorf("%w: bins = %d", ErrInvalid, bins)
+	}
+	if !(hi > lo) {
+		return Histogram{}, fmt.Errorf("%w: range [%v,%v]", ErrInvalid, lo, hi)
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// Fit is a least-squares fit y ≈ Intercept + Slope·f(x) with its coefficient
+// of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y ≈ a + b·x.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	return fitTransformed(xs, ys, func(x float64) (float64, error) { return x, nil })
+}
+
+// LogFit fits y ≈ a + b·ln(x); a high R² supports logarithmic scaling
+// (Theorem 7's log-n dependence). All x must be positive.
+func LogFit(xs, ys []float64) (Fit, error) {
+	return fitTransformed(xs, ys, func(x float64) (float64, error) {
+		if x <= 0 {
+			return 0, fmt.Errorf("%w: log fit requires positive x, got %v", ErrInvalid, x)
+		}
+		return math.Log(x), nil
+	})
+}
+
+// PowerFit fits y ≈ c·x^b by least squares on ln y ≈ ln c + b·ln x and
+// returns Fit{Slope: b, Intercept: ln c} with R² in log-log space. All
+// inputs must be positive.
+func PowerFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrInvalid, len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("%w: power fit requires positive data, got (%v,%v)", ErrInvalid, xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+func fitTransformed(xs, ys []float64, transform func(float64) (float64, error)) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrInvalid, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("%w: need at least 2 points, got %d", ErrInvalid, len(xs))
+	}
+	tx := make([]float64, len(xs))
+	for i, x := range xs {
+		t, err := transform(x)
+		if err != nil {
+			return Fit{}, err
+		}
+		tx[i] = t
+	}
+	n := float64(len(xs))
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range tx {
+		sumX += tx[i]
+		sumY += ys[i]
+		sumXX += tx[i] * tx[i]
+		sumXY += tx[i] * ys[i]
+	}
+	denom := n*sumXX - sumX*sumX
+	if math.Abs(denom) < 1e-300 {
+		return Fit{}, fmt.Errorf("%w: degenerate x values", ErrInvalid)
+	}
+	slope := (n*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / n
+
+	meanY := sumY / n
+	var ssTot, ssRes float64
+	for i := range tx {
+		pred := intercept + slope*tx[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}

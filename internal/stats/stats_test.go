@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"congame/internal/prng"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Var-2.5) > 1e-12 {
+		t.Errorf("Var = %v, want 2.5", s.Var)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if math.Abs(s.StdErr-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Errorf("StdErr = %v", s.StdErr)
+	}
+	if math.Abs(s.CI95()-1.96*s.StdErr) > 1e-12 {
+		t.Errorf("CI95 = %v", s.CI95())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Var != 0 || s.Std != 0 || s.StdErr != 0 {
+		t.Errorf("single-sample variance = %+v, want zeros", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 accepted")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty accepted")
+	}
+	med, err := Median(xs)
+	if err != nil || med != 2.5 {
+		t.Errorf("Median = (%v, %v)", med, err)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestNewHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0.1, 0.9, 1.5, 2.7, -5, 99}, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets: [0,1): 0.1, 0.9, -5(clamped) = 3; [1,2): 1.5 = 1; [2,3]: 2.7, 99(clamped) = 2.
+	want := []int{3, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R² = %v, want ≈ 1", fit.R2)
+	}
+}
+
+func TestLinearFitValidation(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLogFit(t *testing.T) {
+	xs := []float64{1, math.E, math.E * math.E}
+	ys := []float64{1, 3, 5} // y = 1 + 2·ln x
+	fit, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if _, err := LogFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("x=0 accepted")
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	fit, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1.5) > 1e-9 {
+		t.Errorf("exponent = %v, want 1.5", fit.Slope)
+	}
+	if math.Abs(math.Exp(fit.Intercept)-3) > 1e-9 {
+		t.Errorf("coefficient = %v, want 3", math.Exp(fit.Intercept))
+	}
+	if _, err := PowerFit([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := PowerFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := prng.New(5)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 4 + 0.5*xs[i] + (rng.Float64() - 0.5)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.5) > 0.01 {
+		t.Errorf("noisy slope = %v, want ≈ 0.5", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("noisy R² = %v, want > 0.99", fit.R2)
+	}
+}
+
+// Property: the summary mean lies within [Min, Max] and variance is
+// non-negative.
+func TestSummaryProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Var >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := prng.New(7)
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,378 @@
+// Package threshold implements the (quadratic) threshold games used in the
+// proof of Theorem 6 of Ackermann et al. (PODC 2009) — the exponential
+// lower bound for sequential imitation dynamics — together with the
+// ×3-player replication transform from that proof and the MaxCut
+// correspondence the underlying PLS reductions are built on.
+//
+// A quadratic threshold game on k base players has
+//
+//   - one pair resource r_ij per unordered pair {i,j} whose latency charges
+//     a_ij per *other* user: ℓ_rij(x) = a_ij·(x−1) for x ≥ 1 (realized as a
+//     piecewise table with a tiny ε > 0 so the paper's positivity
+//     assumption ℓ(x) > 0 for x > 0 holds without changing any strict
+//     preference for generic weights), and
+//   - one private resource r_i per player with ℓ_ri(x) = (Σ_{j≠i} a_ij/2)·x
+//     (the threshold T_i = Σ_{j≠i} a_ij / 2).
+//
+// Player i chooses between S_out^i = {r_i} and S_in^i = {r_ij : j ≠ i};
+// it prefers S_in exactly when Σ_{j∈IN} a_ij < T_i, i.e. threshold-game
+// better responses are exactly local-search steps of MaxCut with weights
+// a_ij (S_in ↔ "side IN").
+//
+// The tripled game replaces player i by three players i1, i2, i3 of one
+// imitation class and adds the offset 3/2·Σ_{j≠i} a_ij to ℓ_ri. As the
+// paper argues, the trio never collapses onto a single strategy, so both
+// strategies stay alive and the free player's imitation moves replicate the
+// base game's best-response dynamics (shifted by the constant 2·Σ a_ij).
+package threshold
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"congame/internal/game"
+	"congame/internal/latency"
+)
+
+// ErrInvalid reports an invalid threshold-game construction.
+var ErrInvalid = errors.New("threshold: invalid")
+
+// epsRel is the relative size of the positivity shim on pair resources.
+const epsRel = 1e-9
+
+// Weights is a symmetric non-negative weight matrix with zero diagonal —
+// simultaneously the MaxCut instance and the threshold-game coefficients.
+type Weights [][]float64
+
+// NewWeights validates and copies a weight matrix.
+func NewWeights(w [][]float64) (Weights, error) {
+	k := len(w)
+	if k < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 players, got %d", ErrInvalid, k)
+	}
+	out := make(Weights, k)
+	for i := range w {
+		if len(w[i]) != k {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrInvalid, i, len(w[i]), k)
+		}
+		out[i] = append([]float64(nil), w[i]...)
+	}
+	for i := 0; i < k; i++ {
+		if out[i][i] != 0 {
+			return nil, fmt.Errorf("%w: diagonal entry (%d,%d) = %v, want 0", ErrInvalid, i, i, out[i][i])
+		}
+		for j := i + 1; j < k; j++ {
+			if out[i][j] != out[j][i] {
+				return nil, fmt.Errorf("%w: matrix not symmetric at (%d,%d)", ErrInvalid, i, j)
+			}
+			if out[i][j] < 0 {
+				return nil, fmt.Errorf("%w: negative weight %v at (%d,%d)", ErrInvalid, out[i][j], i, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RandomWeights draws integer weights uniformly from {1, …, maxW} for every
+// pair. Integer weights keep preference comparisons exact.
+func RandomWeights(k, maxW int, rng *rand.Rand) (Weights, error) {
+	if k < 2 || maxW < 1 {
+		return nil, fmt.Errorf("%w: k=%d maxW=%d", ErrInvalid, k, maxW)
+	}
+	w := make([][]float64, k)
+	for i := range w {
+		w[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := float64(1 + rng.Intn(maxW))
+			w[i][j] = v
+			w[j][i] = v
+		}
+	}
+	return NewWeights(w)
+}
+
+// K returns the number of base players.
+func (w Weights) K() int { return len(w) }
+
+// Degree returns Σ_{j≠i} a_ij.
+func (w Weights) Degree(i int) float64 {
+	sum := 0.0
+	for j, v := range w[i] {
+		if j != i {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// CutValue returns the weight of the cut separating side[i]=true from
+// side[i]=false.
+func (w Weights) CutValue(side []bool) float64 {
+	sum := 0.0
+	for i := 0; i < len(w); i++ {
+		for j := i + 1; j < len(w); j++ {
+			if side[i] != side[j] {
+				sum += w[i][j]
+			}
+		}
+	}
+	return sum
+}
+
+// IsLocalMaxCut reports whether no single node can increase the cut value
+// by switching sides.
+func (w Weights) IsLocalMaxCut(side []bool) bool {
+	for i := range w {
+		same, cross := 0.0, 0.0
+		for j, v := range w[i] {
+			if j == i {
+				continue
+			}
+			if side[i] == side[j] {
+				same += v
+			} else {
+				cross += v
+			}
+		}
+		if same > cross {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance is a compiled threshold game (tripled or not).
+type Instance struct {
+	// Game is the compiled congestion game.
+	Game *game.Game
+	// Weights is the originating weight matrix.
+	Weights Weights
+	// InStrategy and OutStrategy map base player i to the registered IDs of
+	// S_in^i and S_out^i.
+	InStrategy, OutStrategy []int
+	// Tripled reports whether the ×3 replication transform was applied.
+	Tripled bool
+	// MinGain is the recommended improving-move threshold for sequential
+	// dynamics on this instance: it masks the tiny positivity shim ε on the
+	// pair resources (which can create ~1e-8 spurious gains at exact MaxCut
+	// ties) while keeping every genuine move, whose gain is at least 1/2
+	// for integer weights.
+	MinGain float64
+}
+
+// pairIndex returns the resource index of r_ij given i < j.
+func pairIndex(k, i, j int) int {
+	// Row-major upper triangle: rows 0..i-1 contribute (k-1)+(k-2)+…
+	return i*k - i*(i+1)/2 + (j - i - 1)
+}
+
+// buildResources creates the k(k−1)/2 pair resources followed by the k
+// private threshold resources.
+func buildResources(w Weights, offset bool) ([]game.Resource, error) {
+	k := w.K()
+	resources := make([]game.Resource, 0, k*(k-1)/2+k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			a := w[i][j]
+			eps := epsRel * (1 + a)
+			// ℓ(x) = a·(x−1) + ε for x ≥ 1 (pay-for-others plus shim);
+			// table covers loads 0..4 (the tripled maximum), extended
+			// linearly with slope a beyond.
+			f, err := latency.NewPiecewise(eps/2, eps, a+eps, 2*a+eps, 3*a+eps)
+			if err != nil {
+				return nil, fmt.Errorf("pair (%d,%d): %w", i, j, err)
+			}
+			resources = append(resources, game.Resource{
+				Name:    fmt.Sprintf("r(%d,%d)", i, j),
+				Latency: f,
+			})
+		}
+	}
+	for i := 0; i < k; i++ {
+		threshold := w.Degree(i) / 2
+		if threshold <= 0 {
+			return nil, fmt.Errorf("%w: player %d has zero total weight", ErrInvalid, i)
+		}
+		var (
+			f   latency.Function
+			err error
+		)
+		if offset {
+			// Tripled latency ℓ'_ri(x) = T_i·x + 3·T_i (the paper's added
+			// offset 3/2·Σ a_ij equals 3·T_i).
+			f, err = latency.NewAffine(threshold, 3*threshold)
+		} else {
+			f, err = latency.NewLinear(threshold)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("threshold resource %d: %w", i, err)
+		}
+		resources = append(resources, game.Resource{
+			Name:    fmt.Sprintf("r(%d)", i),
+			Latency: f,
+		})
+	}
+	return resources, nil
+}
+
+func strategySets(w Weights) (in [][]int, out [][]int) {
+	k := w.K()
+	pairCount := k * (k - 1) / 2
+	in = make([][]int, k)
+	out = make([][]int, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			in[i] = append(in[i], pairIndex(k, lo, hi))
+		}
+		out[i] = []int{pairCount + i}
+	}
+	return in, out
+}
+
+// Build compiles the base (untripled) threshold game: one player per base
+// player, each in its own imitation class (so imitation alone can do
+// nothing — the base game serves best-response baselines and tests).
+func Build(w Weights) (*Instance, error) {
+	resources, err := buildResources(w, false)
+	if err != nil {
+		return nil, err
+	}
+	in, out := strategySets(w)
+	k := w.K()
+	strategies := make([][]int, 0, 2*k)
+	classOf := make([]int, k)
+	for i := 0; i < k; i++ {
+		strategies = append(strategies, in[i], out[i])
+		classOf[i] = i
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("threshold-k%d", k),
+		Resources:  resources,
+		Players:    k,
+		Strategies: strategies,
+		ClassOf:    classOf,
+		// The ε-shim makes the numeric elasticity of pair resources blow up
+		// near load 1 (ℓ'·x/ℓ ≈ a/ε); the concurrent protocol is not run on
+		// these games, so pin the bound to keep parameter derivation cheap.
+		Elasticity: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("threshold: compile base game: %w", err)
+	}
+	inst := &Instance{Game: g, Weights: w, InStrategy: make([]int, k), OutStrategy: make([]int, k), MinGain: 1e-3}
+	for i := 0; i < k; i++ {
+		inst.InStrategy[i] = 2 * i
+		inst.OutStrategy[i] = 2*i + 1
+	}
+	return inst, nil
+}
+
+// BuildTripled compiles the tripled game of the Theorem 6 proof: players
+// i1, i2, i3 share class i; ℓ_ri gains the offset 3·T_i. Player indices are
+// 3i, 3i+1, 3i+2 for (i1, i2, i3).
+func BuildTripled(w Weights) (*Instance, error) {
+	resources, err := buildResources(w, true)
+	if err != nil {
+		return nil, err
+	}
+	in, out := strategySets(w)
+	k := w.K()
+	strategies := make([][]int, 0, 2*k)
+	classOf := make([]int, 3*k)
+	for i := 0; i < k; i++ {
+		strategies = append(strategies, in[i], out[i])
+		for r := 0; r < 3; r++ {
+			classOf[3*i+r] = i
+		}
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("threshold-tripled-k%d", k),
+		Resources:  resources,
+		Players:    3 * k,
+		Strategies: strategies,
+		ClassOf:    classOf,
+		// See Build: the ε-shim distorts numeric elasticity; sequential
+		// dynamics ignore the protocol parameters.
+		Elasticity: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("threshold: compile tripled game: %w", err)
+	}
+	inst := &Instance{
+		Game:        g,
+		Weights:     w,
+		InStrategy:  make([]int, k),
+		OutStrategy: make([]int, k),
+		Tripled:     true,
+		MinGain:     1e-3,
+	}
+	for i := 0; i < k; i++ {
+		inst.InStrategy[i] = 2 * i
+		inst.OutStrategy[i] = 2*i + 1
+	}
+	return inst, nil
+}
+
+// InitialState builds the proof's starting assignment: i1 on S_out, i2 on
+// S_in, and i3 on the side given by the initial cut (true = S_in). For base
+// games only the cut side is used.
+func (inst *Instance) InitialState(side []bool) (*game.State, error) {
+	k := inst.Weights.K()
+	if len(side) != k {
+		return nil, fmt.Errorf("%w: side has %d entries, want %d", ErrInvalid, len(side), k)
+	}
+	pick := func(i int) int32 {
+		if side[i] {
+			return int32(inst.InStrategy[i])
+		}
+		return int32(inst.OutStrategy[i])
+	}
+	if !inst.Tripled {
+		assign := make([]int32, k)
+		for i := 0; i < k; i++ {
+			assign[i] = pick(i)
+		}
+		return game.NewStateFromAssignment(inst.Game, assign)
+	}
+	assign := make([]int32, 3*k)
+	for i := 0; i < k; i++ {
+		assign[3*i] = int32(inst.OutStrategy[i])
+		assign[3*i+1] = int32(inst.InStrategy[i])
+		assign[3*i+2] = pick(i)
+	}
+	return game.NewStateFromAssignment(inst.Game, assign)
+}
+
+// FreeSide extracts, from a tripled-game state, the cut side currently
+// played by each class's free capacity: side[i] = true iff two of the three
+// class-i players are on S_in (i.e. the free player plays S_in).
+func (inst *Instance) FreeSide(st *game.State) ([]bool, error) {
+	if !inst.Tripled {
+		return nil, fmt.Errorf("%w: FreeSide requires a tripled instance", ErrInvalid)
+	}
+	k := inst.Weights.K()
+	side := make([]bool, k)
+	for i := 0; i < k; i++ {
+		onIn := 0
+		for r := 0; r < 3; r++ {
+			if st.Assign(3*i+r) == inst.InStrategy[i] {
+				onIn++
+			}
+		}
+		if onIn == 0 || onIn == 3 {
+			return nil, fmt.Errorf("%w: class %d collapsed onto one strategy (%d on S_in)", ErrInvalid, i, onIn)
+		}
+		side[i] = onIn == 2
+	}
+	return side, nil
+}

@@ -1,0 +1,336 @@
+package threshold
+
+import (
+	"testing"
+
+	"congame/internal/baseline"
+	"congame/internal/eq"
+	"congame/internal/prng"
+)
+
+func triangle(t *testing.T) Weights {
+	t.Helper()
+	w, err := NewWeights([][]float64{
+		{0, 3, 1},
+		{3, 0, 2},
+		{1, 2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWeightsValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		w    [][]float64
+	}{
+		{name: "too small", w: [][]float64{{0}}},
+		{name: "ragged", w: [][]float64{{0, 1}, {1}}},
+		{name: "diagonal", w: [][]float64{{1, 1}, {1, 0}}},
+		{name: "asymmetric", w: [][]float64{{0, 1}, {2, 0}}},
+		{name: "negative", w: [][]float64{{0, -1}, {-1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewWeights(tt.w); err == nil {
+				t.Error("NewWeights accepted invalid matrix")
+			}
+		})
+	}
+}
+
+func TestNewWeightsCopies(t *testing.T) {
+	raw := [][]float64{{0, 1}, {1, 0}}
+	w, err := NewWeights(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0][1] = 99
+	if w[0][1] != 1 {
+		t.Error("NewWeights aliased input")
+	}
+}
+
+func TestRandomWeights(t *testing.T) {
+	rng := prng.New(1)
+	w, err := RandomWeights(5, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if w[i][j] < 1 || w[i][j] > 10 {
+				t.Errorf("weight (%d,%d) = %v out of [1,10]", i, j, w[i][j])
+			}
+			if w[i][j] != w[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := RandomWeights(1, 10, rng); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestDegreeAndCut(t *testing.T) {
+	w := triangle(t)
+	if got := w.Degree(0); got != 4 {
+		t.Errorf("Degree(0) = %v, want 4", got)
+	}
+	if got := w.CutValue([]bool{true, false, false}); got != 4 { // edges (0,1)+(0,2)
+		t.Errorf("CutValue = %v, want 4", got)
+	}
+	if got := w.CutValue([]bool{true, true, false}); got != 3 { // (0,2)+(1,2)
+		t.Errorf("CutValue = %v, want 3", got)
+	}
+}
+
+func TestIsLocalMaxCut(t *testing.T) {
+	w := triangle(t)
+	// Cut {0} vs {1,2}: node 1: same=2 (to 2), cross=3 → fine; node 2:
+	// same=2, cross=1 → 2 > 1, node 2 wants to switch: not local opt.
+	if w.IsLocalMaxCut([]bool{true, false, false}) {
+		t.Error("non-optimal cut reported locally optimal")
+	}
+	// Cut {0,2} vs {1}: node0 same=1 cross=3 ok; node1 cross=5 same=0 ok;
+	// node2 same=1 cross=2 ok → local opt.
+	if !w.IsLocalMaxCut([]bool{true, false, true}) {
+		t.Error("locally optimal cut rejected")
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	// k=4: pairs in order (0,1)(0,2)(0,3)(1,2)(1,3)(2,3).
+	want := map[[2]int]int{
+		{0, 1}: 0, {0, 2}: 1, {0, 3}: 2, {1, 2}: 3, {1, 3}: 4, {2, 3}: 5,
+	}
+	for pair, idx := range want {
+		if got := pairIndex(4, pair[0], pair[1]); got != idx {
+			t.Errorf("pairIndex(4,%d,%d) = %d, want %d", pair[0], pair[1], got, idx)
+		}
+	}
+}
+
+func TestBuildBaseGame(t *testing.T) {
+	w := triangle(t)
+	inst, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Game
+	if got := g.NumPlayers(); got != 3 {
+		t.Errorf("players = %d, want 3", got)
+	}
+	if got := g.NumResources(); got != 6 { // 3 pairs + 3 thresholds
+		t.Errorf("resources = %d, want 6", got)
+	}
+	if got := g.NumStrategies(); got != 6 {
+		t.Errorf("strategies = %d, want 6", got)
+	}
+	if got := g.NumClasses(); got != 3 {
+		t.Errorf("classes = %d, want 3", got)
+	}
+	// S_in of player 0 = {r01, r02} = pair indices {0, 1}.
+	in0 := g.Strategy(inst.InStrategy[0])
+	if len(in0) != 2 || in0[0] != 0 || in0[1] != 1 {
+		t.Errorf("S_in^0 = %v, want [0 1]", in0)
+	}
+	out0 := g.Strategy(inst.OutStrategy[0])
+	if len(out0) != 1 || out0[0] != 3 {
+		t.Errorf("S_out^0 = %v, want [3]", out0)
+	}
+}
+
+func TestBaseGameEncodesMaxCut(t *testing.T) {
+	// Better responses in the base game must exactly mirror MaxCut local
+	// search: player i prefers S_in iff Σ_{j∈IN} a_ij < T_i = Deg(i)/2.
+	w := triangle(t)
+	inst, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := restrictedOracle(inst)
+	sides := [][]bool{
+		{false, false, false}, {true, false, false}, {false, true, false},
+		{false, false, true}, {true, true, false}, {true, false, true},
+		{false, true, true}, {true, true, true},
+	}
+	for _, side := range sides {
+		st, err := inst.InitialState(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			_, hasImprovement := oracle.BestResponse(st, i, inst.MinGain)
+			same, cross := 0.0, 0.0
+			for j := 0; j < 3; j++ {
+				if j == i {
+					continue
+				}
+				if side[i] == side[j] {
+					same += w[i][j]
+				} else {
+					cross += w[i][j]
+				}
+			}
+			wantsToSwitch := same > cross
+			if hasImprovement != wantsToSwitch {
+				t.Errorf("side %v player %d: game improvement=%v, MaxCut improvement=%v",
+					side, i, hasImprovement, wantsToSwitch)
+			}
+		}
+	}
+}
+
+func restrictedOracle(inst *Instance) eq.RestrictedOracle {
+	k := inst.Weights.K()
+	allowed := make([][]int, k)
+	for i := 0; i < k; i++ {
+		allowed[i] = []int{inst.InStrategy[i], inst.OutStrategy[i]}
+	}
+	return eq.RestrictedOracle{AllowedByClass: allowed}
+}
+
+func TestBuildTripled(t *testing.T) {
+	w := triangle(t)
+	inst, err := BuildTripled(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Game.NumPlayers(); got != 9 {
+		t.Errorf("players = %d, want 9", got)
+	}
+	if got := inst.Game.NumClasses(); got != 3 {
+		t.Errorf("classes = %d, want 3", got)
+	}
+	st, err := inst.InitialState([]bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchors: i1 on S_out, i2 on S_in.
+	for i := 0; i < 3; i++ {
+		if st.Assign(3*i) != inst.OutStrategy[i] {
+			t.Errorf("i1 of class %d not on S_out", i)
+		}
+		if st.Assign(3*i+1) != inst.InStrategy[i] {
+			t.Errorf("i2 of class %d not on S_in", i)
+		}
+	}
+	side, err := inst.FreeSide(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Errorf("FreeSide[%d] = %v, want %v", i, side[i], want[i])
+		}
+	}
+}
+
+func TestTripledSequentialImitationNeverCollapses(t *testing.T) {
+	// Run sequential imitation from several starts; the proof's invariant
+	// says a class never has all three players on one strategy, and the
+	// dynamics terminate in an imitation-stable state whose free side is a
+	// local MaxCut optimum.
+	rng := prng.New(17)
+	for trial := 0; trial < 10; trial++ {
+		w, err := RandomWeights(4, 9, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := BuildTripled(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side := make([]bool, 4)
+		for i := range side {
+			side[i] = rng.Intn(2) == 0
+		}
+		st, err := inst.InitialState(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := baseline.SequentialImitation(st, baseline.PolicyRandom, inst.MinGain, rng, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: sequential imitation did not converge", trial)
+		}
+		finalSide, err := inst.FreeSide(st)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !w.IsLocalMaxCut(finalSide) {
+			t.Errorf("trial %d: final side %v is not a local MaxCut optimum", trial, finalSide)
+		}
+	}
+}
+
+func TestTripledImitationMatchesMaxCutImprovement(t *testing.T) {
+	// In the tripled game, the free player of class i has an improving
+	// imitation move exactly when MaxCut node i can improve.
+	rng := prng.New(5)
+	w, err := RandomWeights(5, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := BuildTripled(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		side := make([]bool, 5)
+		for i := range side {
+			side[i] = rng.Intn(2) == 0
+		}
+		st, err := inst.InitialState(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			free := 3*i + 2
+			from := st.Assign(free)
+			var target int
+			if side[i] {
+				target = inst.OutStrategy[i]
+			} else {
+				target = inst.InStrategy[i]
+			}
+			gain := st.Gain(from, target)
+			same, cross := 0.0, 0.0
+			for j := 0; j < 5; j++ {
+				if j == i {
+					continue
+				}
+				if side[i] == side[j] {
+					same += w[i][j]
+				} else {
+					cross += w[i][j]
+				}
+			}
+			wantImproving := same > cross
+			if (gain > inst.MinGain) != wantImproving {
+				t.Errorf("trial %d class %d: imitation gain %v, MaxCut improving %v (side %v)",
+					trial, i, gain, wantImproving, side)
+			}
+		}
+	}
+}
+
+func TestInitialStateValidation(t *testing.T) {
+	w := triangle(t)
+	inst, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.InitialState([]bool{true}); err == nil {
+		t.Error("short side vector accepted")
+	}
+	if _, err := inst.FreeSide(nil); err == nil {
+		t.Error("FreeSide on base instance accepted")
+	}
+}

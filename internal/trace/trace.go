@@ -1,0 +1,163 @@
+// Package trace records simulation trajectories (per-round potential,
+// latencies, migration counts) and renders them as CSV or ASCII sparklines.
+// trace.Recorder plugs into the engine via core.RoundObserver.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"congame/internal/core"
+)
+
+// ErrInvalid reports an invalid trace operation.
+var ErrInvalid = errors.New("trace: invalid")
+
+// Recorder collects per-round statistics. The zero value records every
+// round with no bound; use NewRing for a bounded memory footprint.
+type Recorder struct {
+	rounds []core.RoundStats
+	cap    int // 0 = unbounded
+	start  int // ring start index when bounded and full
+}
+
+var _ core.RoundObserver = (*Recorder)(nil)
+
+// NewRecorder returns an unbounded recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRing returns a recorder that keeps only the most recent `capacity`
+// rounds.
+func NewRing(capacity int) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: ring capacity = %d", ErrInvalid, capacity)
+	}
+	return &Recorder{cap: capacity}, nil
+}
+
+// Observe implements core.RoundObserver.
+func (r *Recorder) Observe(stats core.RoundStats) {
+	if r.cap > 0 && len(r.rounds) == r.cap {
+		r.rounds[r.start] = stats
+		r.start = (r.start + 1) % r.cap
+		return
+	}
+	r.rounds = append(r.rounds, stats)
+}
+
+// Len returns the number of retained rounds.
+func (r *Recorder) Len() int { return len(r.rounds) }
+
+// Round returns the i-th retained round (0 = oldest retained).
+func (r *Recorder) Round(i int) core.RoundStats {
+	return r.rounds[(r.start+i)%max(1, len(r.rounds))]
+}
+
+// Rounds returns the retained rounds in chronological order.
+func (r *Recorder) Rounds() []core.RoundStats {
+	out := make([]core.RoundStats, len(r.rounds))
+	for i := range out {
+		out[i] = r.Round(i)
+	}
+	return out
+}
+
+// Potentials returns the retained potential trajectory.
+func (r *Recorder) Potentials() []float64 {
+	out := make([]float64, len(r.rounds))
+	for i := range out {
+		out[i] = r.Round(i).Potential
+	}
+	return out
+}
+
+// AvgLatencies returns the retained average-latency trajectory.
+func (r *Recorder) AvgLatencies() []float64 {
+	out := make([]float64, len(r.rounds))
+	for i := range out {
+		out[i] = r.Round(i).AvgLatency
+	}
+	return out
+}
+
+// WriteCSV writes the retained rounds with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "round,movers,new_strategies,potential,avg_latency,max_latency\n"); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i := 0; i < len(r.rounds); i++ {
+		s := r.Round(i)
+		row := strings.Join([]string{
+			strconv.Itoa(s.Round),
+			strconv.Itoa(s.Movers),
+			strconv.Itoa(s.NewStrategies),
+			strconv.FormatFloat(s.Potential, 'g', 10, 64),
+			strconv.FormatFloat(s.AvgLatency, 'g', 10, 64),
+			strconv.FormatFloat(s.MaxLatency, 'g', 10, 64),
+		}, ",")
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sparkLevels are the eight block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a sequence as a one-line ASCII chart, downsampling to at
+// most `width` columns by averaging. It returns "" for empty input.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	cols := downsample(values, width)
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+func downsample(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(values) / width
+		hi := (c + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[c] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"congame/internal/core"
+)
+
+func stats(round int, phi float64) core.RoundStats {
+	return core.RoundStats{Round: round, Potential: phi, Movers: round % 3}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Observe(stats(i, float64(10-i)))
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	if got := r.Round(0).Round; got != 0 {
+		t.Errorf("Round(0).Round = %d, want 0", got)
+	}
+	if got := r.Round(9).Round; got != 9 {
+		t.Errorf("Round(9).Round = %d, want 9", got)
+	}
+	phis := r.Potentials()
+	if phis[0] != 10 || phis[9] != 1 {
+		t.Errorf("Potentials = %v", phis)
+	}
+}
+
+func TestRingKeepsRecent(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		r.Observe(stats(i, float64(i)))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	rounds := r.Rounds()
+	for i, want := range []int{4, 5, 6} {
+		if rounds[i].Round != want {
+			t.Errorf("retained round %d = %d, want %d", i, rounds[i].Round, want)
+		}
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(core.RoundStats{Round: 0, Movers: 2, Potential: 5.5, AvgLatency: 1.25, MaxLatency: 3})
+	r.Observe(core.RoundStats{Round: 1, Movers: 0, NewStrategies: 1, Potential: 4, AvgLatency: 1, MaxLatency: 2})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "round,movers") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2,0,5.5,1.25,3" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "1,0,1,4,1,2" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestAvgLatencies(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(core.RoundStats{AvgLatency: 2})
+	r.Observe(core.RoundStats{AvgLatency: 1})
+	got := r.AvgLatencies()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("AvgLatencies = %v", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{1, 2}, 0); got != "" {
+		t.Errorf("zero-width sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got := len([]rune(s)); got != 8 {
+		t.Fatalf("sparkline width = %d, want 8", got)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline = %q, want rising ramp", s)
+	}
+	// Constant input: all minimum level.
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", flat)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s := Sparkline(values, 40)
+	if got := len([]rune(s)); got != 40 {
+		t.Errorf("downsampled width = %d, want 40", got)
+	}
+}

@@ -1,0 +1,353 @@
+// Package weighted extends the imitation dynamics to weighted players on
+// parallel links — the setting of Berenbrink, Friedetzky, Hajirasouliha,
+// Hu (ESA 2007), cited as [5] in the paper's related work: each job i has a
+// weight w_i and the congestion of a link is the sum of the weights on it.
+//
+// The IMITATION PROTOCOL carries over verbatim: sample a uniformly random
+// player, anticipate the latency after moving the own weight, migrate with
+// probability (λ/d)·gain/ℓ_current. For linear latencies ℓ_e(x) = a_e·x the
+// weighted Rosenthal potential
+//
+//	Φ_w(x) = ½·Σ_e a_e·(W_e² + Σ_{i on e} w_i²)
+//
+// is exact: moving player i from link e to f changes Φ_w by
+// w_i·(ℓ_f(W_f+w_i) − ℓ_e(W_e)), so the dynamics remain a super-martingale
+// argument away from convergence; [5] shows pseudopolynomial bounds in the
+// maximum weight, which experiment E14 measures.
+package weighted
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// ErrInvalid reports an invalid weighted-game construction or operation.
+var ErrInvalid = errors.New("weighted: invalid")
+
+// Game is a weighted singleton congestion game: m parallel links with
+// latency functions of the total weight, and n players with positive
+// weights.
+type Game struct {
+	fns     []latency.Function
+	weights []float64
+	totalW  float64
+	d       float64
+}
+
+// NewGame validates and builds a weighted game. The elasticity damping d is
+// derived from the latency functions over (0, totalWeight].
+func NewGame(fns []latency.Function, weights []float64) (*Game, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("%w: no links", ErrInvalid)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no players", ErrInvalid)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if !(w > 0) {
+			return nil, fmt.Errorf("%w: player %d has weight %v, need > 0", ErrInvalid, i, w)
+		}
+		total += w
+	}
+	for e, f := range fns {
+		if f == nil {
+			return nil, fmt.Errorf("%w: link %d has nil latency", ErrInvalid, e)
+		}
+	}
+	return &Game{
+		fns:     append([]latency.Function(nil), fns...),
+		weights: append([]float64(nil), weights...),
+		totalW:  total,
+		d:       latency.ProtocolElasticity(fns, total),
+	}, nil
+}
+
+// NumLinks returns m.
+func (g *Game) NumLinks() int { return len(g.fns) }
+
+// NumPlayers returns n.
+func (g *Game) NumPlayers() int { return len(g.weights) }
+
+// Weight returns w_i.
+func (g *Game) Weight(i int) float64 { return g.weights[i] }
+
+// TotalWeight returns Σ w_i.
+func (g *Game) TotalWeight() float64 { return g.totalW }
+
+// Elasticity returns the derived damping bound d ≥ 1.
+func (g *Game) Elasticity() float64 { return g.d }
+
+// State assigns each weighted player to a link.
+type State struct {
+	g      *Game
+	assign []int32
+	load   []float64 // per link: total weight
+}
+
+// NewState builds a state from an explicit assignment (copied).
+func NewState(g *Game, assign []int32) (*State, error) {
+	if len(assign) != g.NumPlayers() {
+		return nil, fmt.Errorf("%w: assignment has %d players, want %d", ErrInvalid, len(assign), g.NumPlayers())
+	}
+	st := &State{
+		g:      g,
+		assign: append([]int32(nil), assign...),
+		load:   make([]float64, g.NumLinks()),
+	}
+	for i, e := range assign {
+		if e < 0 || int(e) >= g.NumLinks() {
+			return nil, fmt.Errorf("%w: player %d on link %d, have %d links", ErrInvalid, i, e, g.NumLinks())
+		}
+		st.load[e] += g.weights[i]
+	}
+	return st, nil
+}
+
+// NewRandomState assigns every player to a uniformly random link.
+func NewRandomState(g *Game, rng *rand.Rand) (*State, error) {
+	assign := make([]int32, g.NumPlayers())
+	for i := range assign {
+		assign[i] = int32(rng.Intn(g.NumLinks()))
+	}
+	return NewState(g, assign)
+}
+
+// Game returns the underlying game.
+func (st *State) Game() *Game { return st.g }
+
+// Assign returns player i's link.
+func (st *State) Assign(i int) int { return int(st.assign[i]) }
+
+// Load returns the total weight on link e.
+func (st *State) Load(e int) float64 { return st.load[e] }
+
+// LinkLatency returns ℓ_e(W_e).
+func (st *State) LinkLatency(e int) float64 {
+	return st.g.fns[e].Value(st.load[e])
+}
+
+// PlayerLatency returns the latency player i currently experiences.
+func (st *State) PlayerLatency(i int) float64 {
+	return st.LinkLatency(int(st.assign[i]))
+}
+
+// SwitchLatency returns the latency player i would experience after moving
+// to link e (its own weight joins e; if e is its current link, nothing
+// changes).
+func (st *State) SwitchLatency(i, e int) float64 {
+	if int(st.assign[i]) == e {
+		return st.LinkLatency(e)
+	}
+	return st.g.fns[e].Value(st.load[e] + st.g.weights[i])
+}
+
+// Gain returns the anticipated improvement of moving player i to link e.
+func (st *State) Gain(i, e int) float64 {
+	return st.PlayerLatency(i) - st.SwitchLatency(i, e)
+}
+
+// Move reassigns player i to link e.
+func (st *State) Move(i, e int) {
+	from := int(st.assign[i])
+	if from == e {
+		return
+	}
+	w := st.g.weights[i]
+	st.load[from] -= w
+	st.load[e] += w
+	st.assign[i] = int32(e)
+}
+
+// MaxWeightedGain returns the largest improvement any player could realize
+// and whether one exists above the threshold; this is the ε-Nash check.
+func (st *State) MaxWeightedGain() float64 {
+	best := 0.0
+	for i := 0; i < st.g.NumPlayers(); i++ {
+		for e := 0; e < st.g.NumLinks(); e++ {
+			if g := st.Gain(i, e); g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// IsNash reports whether no player can improve by more than eps.
+func (st *State) IsNash(eps float64) bool {
+	return st.MaxWeightedGain() <= eps
+}
+
+// MaxLatency returns the makespan max_e ℓ_e(W_e) over loaded links.
+func (st *State) MaxLatency() float64 {
+	best := 0.0
+	for e := range st.load {
+		if st.load[e] > 0 {
+			if l := st.LinkLatency(e); l > best {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// AvgLatency returns the weight-averaged latency Σ_e (W_e/W)·ℓ_e(W_e).
+func (st *State) AvgLatency() float64 {
+	sum := 0.0
+	for e := range st.load {
+		if st.load[e] > 0 {
+			sum += st.load[e] * st.LinkLatency(e)
+		}
+	}
+	return sum / st.g.totalW
+}
+
+// LinearPotential returns the exact weighted potential
+// ½·Σ_e a_e·(W_e² + Σ_{i on e} w_i²) for games whose latencies are all pure
+// linear; it errors otherwise.
+func (st *State) LinearPotential() (float64, error) {
+	slopes := make([]float64, st.g.NumLinks())
+	for e, f := range st.g.fns {
+		switch fn := f.(type) {
+		case latency.Affine:
+			if fn.B != 0 {
+				return 0, fmt.Errorf("%w: link %d has offset %v", ErrInvalid, e, fn.B)
+			}
+			slopes[e] = fn.A
+		case latency.Monomial:
+			if fn.D != 1 {
+				return 0, fmt.Errorf("%w: link %d has degree %v", ErrInvalid, e, fn.D)
+			}
+			slopes[e] = fn.A
+		default:
+			return 0, fmt.Errorf("%w: link %d latency %s is not linear", ErrInvalid, e, f)
+		}
+	}
+	phi := 0.0
+	for e := range slopes {
+		phi += slopes[e] * st.load[e] * st.load[e]
+	}
+	for i, e := range st.assign {
+		w := st.g.weights[i]
+		phi += slopes[e] * w * w
+	}
+	return phi / 2, nil
+}
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	return &State{
+		g:      st.g,
+		assign: append([]int32(nil), st.assign...),
+		load:   append([]float64(nil), st.load...),
+	}
+}
+
+// Validate recomputes the load vector and checks consistency.
+func (st *State) Validate() error {
+	load := make([]float64, st.g.NumLinks())
+	for i, e := range st.assign {
+		load[e] += st.g.weights[i]
+	}
+	for e := range load {
+		if diff := load[e] - st.load[e]; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("%w: link %d load %v, recomputed %v", ErrInvalid, e, st.load[e], load[e])
+		}
+	}
+	return nil
+}
+
+// Protocol is the weighted IMITATION PROTOCOL.
+type Protocol struct {
+	g      *Game
+	lambda float64
+	nu     float64
+}
+
+// NewProtocol validates the protocol parameters. nu ≥ 0 is the minimum-gain
+// threshold (0 disables it, the common choice in [5]-style analyses).
+func NewProtocol(g *Game, lambda, nu float64) (*Protocol, error) {
+	if lambda == 0 {
+		lambda = 0.25
+	}
+	if lambda < 0 || lambda > 1 || lambda != lambda {
+		return nil, fmt.Errorf("%w: lambda = %v", ErrInvalid, lambda)
+	}
+	if nu < 0 || nu != nu {
+		return nil, fmt.Errorf("%w: nu = %v", ErrInvalid, nu)
+	}
+	return &Protocol{g: g, lambda: lambda, nu: nu}, nil
+}
+
+// Engine runs concurrent rounds of the weighted protocol with the same
+// deterministic-parallelism contract as core.Engine.
+type Engine struct {
+	st    *State
+	proto *Protocol
+	seed  uint64
+	round int
+}
+
+// NewEngine wires a state and protocol.
+func NewEngine(st *State, proto *Protocol, seed uint64) (*Engine, error) {
+	if st == nil || proto == nil {
+		return nil, fmt.Errorf("%w: engine needs state and protocol", ErrInvalid)
+	}
+	return &Engine{st: st, proto: proto, seed: seed}, nil
+}
+
+// State returns the live state.
+func (e *Engine) State() *State { return e.st }
+
+// Step executes one concurrent round and returns the number of migrations.
+func (e *Engine) Step() int {
+	n := e.st.g.NumPlayers()
+	decisions := make([]int32, n)
+	stream := prng.NewReusable()
+	for i := 0; i < n; i++ {
+		decisions[i] = -1
+		rng := stream.Reset3(e.seed, uint64(e.round), uint64(i))
+		q := rng.Intn(n)
+		target := int(e.st.assign[q])
+		from := int(e.st.assign[i])
+		if target == from {
+			continue
+		}
+		lp := e.st.PlayerLatency(i)
+		gain := lp - e.st.SwitchLatency(i, target)
+		if gain <= e.proto.nu || lp <= 0 {
+			continue
+		}
+		if rng.Float64() < e.proto.lambda/e.st.g.d*gain/lp {
+			decisions[i] = int32(target)
+		}
+	}
+	moves := 0
+	for i, to := range decisions {
+		if to >= 0 && int32(to) != e.st.assign[i] {
+			e.st.Move(i, int(to))
+			moves++
+		}
+	}
+	e.round++
+	return moves
+}
+
+// Run executes rounds until the state is an eps-Nash or the budget runs
+// out; it returns the rounds used and whether it converged.
+func (e *Engine) Run(maxRounds int, eps float64) (int, bool) {
+	if e.st.IsNash(eps) {
+		return 0, true
+	}
+	for r := 1; r <= maxRounds; r++ {
+		e.Step()
+		if e.st.IsNash(eps) {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}

@@ -1,0 +1,356 @@
+package weighted
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+func mustLinear(t *testing.T, a float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewLinear(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func twoLinkGame(t *testing.T, weights ...float64) *Game {
+	t.Helper()
+	g, err := NewGame([]latency.Function{mustLinear(t, 1), mustLinear(t, 1)}, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGameValidation(t *testing.T) {
+	lin := mustLinear(t, 1)
+	if _, err := NewGame(nil, []float64{1}); err == nil {
+		t.Error("no links accepted")
+	}
+	if _, err := NewGame([]latency.Function{lin}, nil); err == nil {
+		t.Error("no players accepted")
+	}
+	if _, err := NewGame([]latency.Function{lin}, []float64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewGame([]latency.Function{lin}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewGame([]latency.Function{nil}, []float64{1}); err == nil {
+		t.Error("nil latency accepted")
+	}
+}
+
+func TestGameAccessors(t *testing.T) {
+	g := twoLinkGame(t, 2, 3, 5)
+	if g.NumLinks() != 2 || g.NumPlayers() != 3 {
+		t.Fatalf("shape: %d links %d players", g.NumLinks(), g.NumPlayers())
+	}
+	if g.Weight(1) != 3 {
+		t.Errorf("Weight(1) = %v", g.Weight(1))
+	}
+	if g.TotalWeight() != 10 {
+		t.Errorf("TotalWeight = %v", g.TotalWeight())
+	}
+	if g.Elasticity() != 1 {
+		t.Errorf("Elasticity = %v, want 1 for linear", g.Elasticity())
+	}
+}
+
+func TestStateBookkeeping(t *testing.T) {
+	g := twoLinkGame(t, 2, 3, 5)
+	st, err := NewState(g, []int32{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Load(0) != 5 || st.Load(1) != 5 {
+		t.Errorf("loads = %v/%v, want 5/5", st.Load(0), st.Load(1))
+	}
+	if st.PlayerLatency(0) != 5 {
+		t.Errorf("PlayerLatency(0) = %v", st.PlayerLatency(0))
+	}
+	// Player 2 (w=5) moving to link 0: ℓ(5+5) = 10.
+	if got := st.SwitchLatency(2, 0); got != 10 {
+		t.Errorf("SwitchLatency = %v, want 10", got)
+	}
+	if got := st.Gain(2, 0); got != -5 {
+		t.Errorf("Gain = %v, want -5", got)
+	}
+	st.Move(0, 1)
+	if st.Load(0) != 3 || st.Load(1) != 7 {
+		t.Errorf("after move: %v/%v", st.Load(0), st.Load(1))
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewStateValidation(t *testing.T) {
+	g := twoLinkGame(t, 1, 1)
+	if _, err := NewState(g, []int32{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := NewState(g, []int32{0, 7}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+}
+
+func TestLinearPotentialIdentity(t *testing.T) {
+	// Weighted Rosenthal identity: ΔΦ = w_i·(ℓ_f(W_f+w_i) − ℓ_e(W_e)).
+	g, err := NewGame(
+		[]latency.Function{mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 3)},
+		[]float64{1, 2.5, 4, 1.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(3)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(g.NumPlayers())
+		e := rng.Intn(g.NumLinks())
+		if st.Assign(i) == e {
+			continue
+		}
+		before, err := st.LinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := g.Weight(i)
+		predicted := w * (st.SwitchLatency(i, e) - st.PlayerLatency(i))
+		st.Move(i, e)
+		after, err := st.LinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs((after-before)-predicted) > 1e-9 {
+			t.Fatalf("trial %d: ΔΦ = %v, identity predicts %v", trial, after-before, predicted)
+		}
+	}
+}
+
+func TestLinearPotentialRejectsNonLinear(t *testing.T) {
+	mono, err := latency.NewMonomial(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGame([]latency.Function{mono}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LinearPotential(); err == nil {
+		t.Error("quadratic latency accepted")
+	}
+}
+
+func TestEngineConvergesUnitWeights(t *testing.T) {
+	// With unit weights the dynamics must reproduce the unweighted
+	// behaviour: balance two identical links.
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = 1
+	}
+	g := twoLinkGame(t, weights...)
+	st, err := NewRandomState(g, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(g, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(st, proto, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := engine.Run(5000, 1.0) // gain ≤ slope ⇒ ε = 1 is exact-ish
+	if !ok {
+		t.Fatalf("no convergence in 5000 rounds (loads %v/%v)", st.Load(0), st.Load(1))
+	}
+	if math.Abs(st.Load(0)-st.Load(1)) > 2 {
+		t.Errorf("unbalanced final loads %v/%v after %d rounds", st.Load(0), st.Load(1), rounds)
+	}
+}
+
+func TestEngineConvergesHeavyWeights(t *testing.T) {
+	rng := prng.New(11)
+	weights := make([]float64, 60)
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()*7
+	}
+	g, err := NewGame(
+		[]latency.Function{mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 3)},
+		weights,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewProtocol(g, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(st, proto, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε-Nash with ε = 8·a_max = largest single-player step.
+	_, ok := engine.Run(20000, 8)
+	if !ok {
+		t.Fatalf("no ε-Nash in 20000 rounds (max gain %v)", st.MaxWeightedGain())
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPotentialSuperMartingaleEmpirically(t *testing.T) {
+	// Mean ΔΦ over replications should be ≤ 0 round by round.
+	const reps = 20
+	deltas := make([]float64, 20)
+	for rep := 0; rep < reps; rep++ {
+		rng := prng.New(uint64(rep) + 100)
+		weights := make([]float64, 50)
+		for i := range weights {
+			weights[i] = 1 + rng.Float64()*3
+		}
+		g, err := NewGame([]latency.Function{mustLinear(t, 1), mustLinear(t, 2)}, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewRandomState(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := NewProtocol(g, 0.25, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := NewEngine(st, proto, uint64(rep)*7+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := st.LinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range deltas {
+			engine.Step()
+			phi, err := st.LinearPotential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltas[r] += phi - prev
+			prev = phi
+		}
+	}
+	for r, d := range deltas {
+		if d/reps > 1e-9 {
+			t.Errorf("round %d: mean ΔΦ = %v > 0", r, d/reps)
+		}
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	build := func() *Engine {
+		g := twoLinkGame(t, 1, 2, 3, 4, 5, 6, 7, 8)
+		st, err := NewState(g, []int32{0, 0, 0, 0, 0, 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := NewProtocol(g, 0.25, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(st, proto, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := build(), build()
+	for r := 0; r < 50; r++ {
+		if ma, mb := a.Step(), b.Step(); ma != mb {
+			t.Fatalf("round %d: movers %d vs %d", r, ma, mb)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if a.State().Assign(i) != b.State().Assign(i) {
+			t.Fatalf("player %d diverged", i)
+		}
+	}
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	g := twoLinkGame(t, 1)
+	if _, err := NewProtocol(g, -0.5, 0); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewProtocol(g, 2, 0); err == nil {
+		t.Error("lambda 2 accepted")
+	}
+	if _, err := NewProtocol(g, 0.25, -1); err == nil {
+		t.Error("negative nu accepted")
+	}
+	p, err := NewProtocol(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.lambda != 0.25 {
+		t.Errorf("default lambda = %v", p.lambda)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := twoLinkGame(t, 1)
+	st, err := NewState(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(nil, nil, 1); err == nil {
+		t.Error("nils accepted")
+	}
+	_ = st
+}
+
+func TestMetrics(t *testing.T) {
+	g := twoLinkGame(t, 2, 6)
+	st, err := NewState(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.MaxLatency(); got != 6 {
+		t.Errorf("MaxLatency = %v, want 6", got)
+	}
+	// AvgLatency = (2·2 + 6·6)/8 = 5.
+	if got := st.AvgLatency(); got != 5 {
+		t.Errorf("AvgLatency = %v, want 5", got)
+	}
+	if st.IsNash(0) {
+		// Player on link 1 (w=6): moving to 0 gives ℓ(8) = 8 > 6; player on
+		// 0 (w=2): moving gives ℓ(8) = 8 > 2. Actually this IS Nash.
+		t.Log("state is Nash as expected")
+	}
+	if !st.IsNash(0) {
+		t.Error("2/6 split should be Nash")
+	}
+	cp := st.Clone()
+	st.Move(0, 1)
+	if cp.Load(1) != 6 {
+		t.Error("clone aliased")
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/graph"
+	"congame/internal/latency"
+)
+
+// TwoCommodity builds the asymmetric extension from the end of Section 3.1
+// of the paper: two player classes route between their own source–sink
+// pairs over a shared two-layer middle network, so classes compete for the
+// middle edges but can only imitate members of their own class.
+//
+// Topology (width w): s1, s2 → layer A (w vertices) → layer B (w vertices,
+// complete bipartite A×B with linear latencies — the congested core) →
+// t1, t2. Half of the n players form class 0 (s1→t1), the rest class 1
+// (s2→t2). All class paths are enumerated and registered; the initial
+// assignment is uniform per class.
+func TwoCommodity(width, n int, maxSlope float64, rng *rand.Rand) (*Instance, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("%w: width = %d", ErrInvalid, width)
+	}
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: two-commodity needs even n ≥ 2, got %d", ErrInvalid, n)
+	}
+	if maxSlope < 1 {
+		return nil, fmt.Errorf("%w: maxSlope = %v", ErrInvalid, maxSlope)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+
+	numV := 4 + 2*width
+	g, err := graph.NewDigraph(numV)
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-commodity graph: %w", err)
+	}
+	s1, s2 := 0, 1
+	t1, t2 := numV-2, numV-1
+	layerA := func(i int) int { return 2 + i }
+	layerB := func(i int) int { return 2 + width + i }
+
+	addEdge := func(from, to int) (int, error) {
+		id, err := g.AddEdge(from, to)
+		if err != nil {
+			return 0, fmt.Errorf("workload: two-commodity edge: %w", err)
+		}
+		return id, nil
+	}
+
+	for i := 0; i < width; i++ {
+		if _, err := addEdge(s1, layerA(i)); err != nil {
+			return nil, err
+		}
+		if _, err := addEdge(s2, layerA(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			if _, err := addEdge(layerA(i), layerB(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for j := 0; j < width; j++ {
+		if _, err := addEdge(layerB(j), t1); err != nil {
+			return nil, err
+		}
+		if _, err := addEdge(layerB(j), t2); err != nil {
+			return nil, err
+		}
+	}
+
+	resources := make([]game.Resource, g.NumEdges())
+	for e := range resources {
+		f, err := latency.NewLinear(1 + rng.Float64()*(maxSlope-1))
+		if err != nil {
+			return nil, fmt.Errorf("workload: two-commodity latency: %w", err)
+		}
+		resources[e] = game.Resource{Name: fmt.Sprintf("edge%d", e), Latency: f}
+	}
+
+	paths1, err := g.EnumeratePaths(s1, t1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("workload: class-0 paths: %w", err)
+	}
+	paths2, err := g.EnumeratePaths(s2, t2, 0)
+	if err != nil {
+		return nil, fmt.Errorf("workload: class-1 paths: %w", err)
+	}
+	strategies := append(append([][]int{}, paths1...), paths2...)
+
+	classOf := make([]int, n)
+	for i := n / 2; i < n; i++ {
+		classOf[i] = 1
+	}
+	compiled, err := game.New(game.Config{
+		Name:       fmt.Sprintf("two-commodity-w%d-n%d", width, n),
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+		ClassOf:    classOf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-commodity game: %w", err)
+	}
+
+	assign := make([]int32, n)
+	for i := 0; i < n/2; i++ {
+		assign[i] = int32(rng.Intn(len(paths1)))
+	}
+	for i := n / 2; i < n; i++ {
+		assign[i] = int32(len(paths1) + rng.Intn(len(paths2)))
+	}
+	st, err := game.NewStateFromAssignment(compiled, assign)
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-commodity state: %w", err)
+	}
+
+	net1 := graph.Network{G: g, S: s1, T: t1}
+	net2 := graph.Network{G: g, S: s2, T: t2}
+	return &Instance{
+		Game:        compiled,
+		State:       st,
+		Net:         &net1,
+		Oracle:      eq.NewMultiNetworkOracle([]graph.Network{net1, net2}),
+		Description: fmt.Sprintf("two-commodity network, width %d, n=%d (2 classes sharing the middle)", width, n),
+	}, nil
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"congame/internal/core"
+	"congame/internal/eq"
+	"congame/internal/prng"
+)
+
+func TestTwoCommodityValidation(t *testing.T) {
+	rng := prng.New(1)
+	if _, err := TwoCommodity(0, 10, 2, rng); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := TwoCommodity(2, 7, 2, rng); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := TwoCommodity(2, 10, 0.5, rng); err == nil {
+		t.Error("maxSlope < 1 accepted")
+	}
+	if _, err := TwoCommodity(2, 10, 2, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestTwoCommodityShape(t *testing.T) {
+	inst, err := TwoCommodity(3, 40, 3, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Game
+	if got := g.NumClasses(); got != 2 {
+		t.Fatalf("classes = %d, want 2", got)
+	}
+	// width w: each class has w·w paths (sX → A_i → B_j → tX).
+	if got := g.NumStrategies(); got != 18 {
+		t.Errorf("strategies = %d, want 18 (9 per class)", got)
+	}
+	if err := inst.State.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every class-0 player is on a class-0 path (first 9 strategies).
+	for p := 0; p < 20; p++ {
+		if s := inst.State.Assign(p); s >= 9 {
+			t.Fatalf("class-0 player %d on strategy %d", p, s)
+		}
+	}
+	for p := 20; p < 40; p++ {
+		if s := inst.State.Assign(p); s < 9 {
+			t.Fatalf("class-1 player %d on strategy %d", p, s)
+		}
+	}
+}
+
+func TestTwoCommodityClassesStaySeparated(t *testing.T) {
+	inst, err := TwoCommodity(3, 60, 3, prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(inst.State, im, core.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(200, nil)
+	if err := inst.State.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 30; p++ {
+		if s := inst.State.Assign(p); s >= 9 {
+			t.Fatalf("class-0 player %d leaked onto class-1 strategy %d", p, s)
+		}
+	}
+	for p := 30; p < 60; p++ {
+		if s := inst.State.Assign(p); s < 9 {
+			t.Fatalf("class-1 player %d leaked onto class-0 strategy %d", p, s)
+		}
+	}
+}
+
+func TestTwoCommodityOracleRespectsTerminals(t *testing.T) {
+	inst, err := TwoCommodity(2, 20, 3, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Improvements proposed for class-0 players must be s1→t1 paths.
+	for p := 0; p < 10; p++ {
+		imp, ok := inst.Oracle.BestResponse(inst.State, p, 0)
+		if !ok {
+			continue
+		}
+		first := inst.Net.G.Edge(imp.Strategy[0])
+		last := inst.Net.G.Edge(imp.Strategy[len(imp.Strategy)-1])
+		if first.From != inst.Net.S || last.To != inst.Net.T {
+			t.Fatalf("class-0 improvement %v connects %d→%d, want %d→%d",
+				imp.Strategy, first.From, last.To, inst.Net.S, inst.Net.T)
+		}
+	}
+}
+
+func TestTwoCommodityConvergesToApproxEq(t *testing.T) {
+	inst, err := TwoCommodity(3, 120, 3, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(inst.State, im, core.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(5000, core.StopWhenApproxEq(0.15, 0.15, inst.Game.Nu()))
+	if !res.Converged {
+		report, rerr := eq.CheckApprox(inst.State, 0.15, 0.15, inst.Game.Nu())
+		t.Fatalf("no approx equilibrium in 5000 rounds (report %+v, err %v)", report, rerr)
+	}
+}

@@ -1,0 +1,422 @@
+// Package workload builds the named instance families used by the
+// experiment suite and the examples: the two-link overshoot instance of
+// Section 2.3, random linear singleton games (Section 5), the zero-offset
+// scaled games of Theorem 9, the Ω(n) last-agent instance from the end of
+// Section 4, layered-DAG network games with polynomial latencies, and the
+// Braess network.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/graph"
+	"congame/internal/latency"
+)
+
+// ErrInvalid reports an invalid workload configuration.
+var ErrInvalid = errors.New("workload: invalid")
+
+// Instance bundles a compiled game with its initial state and the exact
+// best-response oracle appropriate for it.
+type Instance struct {
+	// Game is the compiled congestion game.
+	Game *game.Game
+	// State is the initial state of the dynamics.
+	State *game.State
+	// Net is the underlying network for network games (nil otherwise).
+	Net *graph.Network
+	// Oracle finds exact best responses on this instance.
+	Oracle eq.Oracle
+	// Description is a one-line summary for logs and tables.
+	Description string
+}
+
+// TwoLink builds the overshooting example of Section 2.3: link 0 has
+// constant latency c = (n/4)^degree and link 1 has latency x^degree, so the
+// balanced point puts n/4 players on link 1. seedOnPoly players start on
+// link 1 and the rest on the constant link.
+func TwoLink(n int, degree float64, seedOnPoly int) (*Instance, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("%w: two-link needs n ≥ 4, got %d", ErrInvalid, n)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("%w: degree %v must be ≥ 1", ErrInvalid, degree)
+	}
+	if seedOnPoly < 0 || seedOnPoly > n {
+		return nil, fmt.Errorf("%w: seedOnPoly = %d out of [0,%d]", ErrInvalid, seedOnPoly, n)
+	}
+	c := math.Pow(float64(n)/4, degree)
+	constant, err := latency.NewConstant(c)
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-link constant: %w", err)
+	}
+	poly, err := latency.NewMonomial(1, degree)
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-link monomial: %w", err)
+	}
+	g, err := game.New(game.Config{
+		Name: fmt.Sprintf("two-link-n%d-d%g", n, degree),
+		Resources: []game.Resource{
+			{Name: "constant", Latency: constant},
+			{Name: "poly", Latency: poly},
+		},
+		Players:    n,
+		Strategies: [][]int{{0}, {1}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-link game: %w", err)
+	}
+	assign := make([]int32, n)
+	for i := 0; i < seedOnPoly; i++ {
+		assign[i] = 1
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("workload: two-link state: %w", err)
+	}
+	return &Instance{
+		Game:        g,
+		State:       st,
+		Oracle:      eq.SingletonOracle{},
+		Description: fmt.Sprintf("two links: const (n/4)^%g vs x^%g, n=%d", degree, degree, n),
+	}, nil
+}
+
+// singleton compiles m parallel links with the given latency functions and
+// a uniformly random initial assignment.
+func singleton(name string, n int, fns []latency.Function, rng *rand.Rand) (*Instance, error) {
+	resources := make([]game.Resource, len(fns))
+	strategies := make([][]int, len(fns))
+	for i, f := range fns {
+		resources[i] = game.Resource{Name: fmt.Sprintf("link%d", i), Latency: f}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{
+		Name:       name,
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s game: %w", name, err)
+	}
+	st, err := game.NewRandomState(g, rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s state: %w", name, err)
+	}
+	return &Instance{Game: g, State: st, Oracle: eq.SingletonOracle{}}, nil
+}
+
+// UniformSingletons builds m identical unit-slope parallel links with a
+// random initial assignment.
+func UniformSingletons(m, n int, rng *rand.Rand) (*Instance, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	fns := make([]latency.Function, m)
+	for i := range fns {
+		f, err := latency.NewLinear(1)
+		if err != nil {
+			return nil, fmt.Errorf("workload: uniform link: %w", err)
+		}
+		fns[i] = f
+	}
+	inst, err := singleton(fmt.Sprintf("uniform-singletons-m%d-n%d", m, n), n, fns, rng)
+	if err != nil {
+		return nil, err
+	}
+	inst.Description = fmt.Sprintf("%d identical linear links, n=%d", m, n)
+	return inst, nil
+}
+
+// LinearSingletons builds m parallel links with slopes drawn uniformly from
+// [1, maxSlope] and a random initial assignment — the Section 5 setting.
+func LinearSingletons(m, n int, maxSlope float64, rng *rand.Rand) (*Instance, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+	}
+	if maxSlope < 1 {
+		return nil, fmt.Errorf("%w: maxSlope %v must be ≥ 1", ErrInvalid, maxSlope)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	fns := make([]latency.Function, m)
+	for i := range fns {
+		f, err := latency.NewLinear(1 + rng.Float64()*(maxSlope-1))
+		if err != nil {
+			return nil, fmt.Errorf("workload: linear link: %w", err)
+		}
+		fns[i] = f
+	}
+	inst, err := singleton(fmt.Sprintf("linear-singletons-m%d-n%d", m, n), n, fns, rng)
+	if err != nil {
+		return nil, err
+	}
+	inst.Description = fmt.Sprintf("%d linear links with slopes in [1,%g], n=%d", m, maxSlope, n)
+	return inst, nil
+}
+
+// MonomialSingletons builds m parallel links with latency a_e·x^degree,
+// a_e ∈ [1, maxCoeff], and a random initial assignment — the polynomial
+// setting of Corollaries 5 and 8.
+func MonomialSingletons(m, n int, degree, maxCoeff float64, rng *rand.Rand) (*Instance, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+	}
+	if degree < 1 || maxCoeff < 1 {
+		return nil, fmt.Errorf("%w: degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	fns := make([]latency.Function, m)
+	for i := range fns {
+		f, err := latency.NewMonomial(1+rng.Float64()*(maxCoeff-1), degree)
+		if err != nil {
+			return nil, fmt.Errorf("workload: monomial link: %w", err)
+		}
+		fns[i] = f
+	}
+	inst, err := singleton(fmt.Sprintf("monomial-singletons-m%d-n%d-d%g", m, n, degree), n, fns, rng)
+	if err != nil {
+		return nil, err
+	}
+	inst.Description = fmt.Sprintf("%d links a·x^%g with a in [1,%g], n=%d", m, degree, maxCoeff, n)
+	return inst, nil
+}
+
+// ZeroOffsetSingletons builds the Theorem 9 regime: m links with
+// ℓ_e(x) = a_e·(x/n)^d (so ℓ_e(0) = 0 and scaling leaves the elasticity at
+// d while ν shrinks with n), slopes a_e ∈ [1, maxCoeff], random initial
+// assignment.
+func ZeroOffsetSingletons(m, n int, degree, maxCoeff float64, rng *rand.Rand) (*Instance, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+	}
+	if degree < 1 || maxCoeff < 1 {
+		return nil, fmt.Errorf("%w: degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	fns := make([]latency.Function, m)
+	for i := range fns {
+		base, err := latency.NewMonomial(1+rng.Float64()*(maxCoeff-1), degree)
+		if err != nil {
+			return nil, fmt.Errorf("workload: zero-offset base: %w", err)
+		}
+		f, err := latency.NewScaled(base, float64(n))
+		if err != nil {
+			return nil, fmt.Errorf("workload: zero-offset scale: %w", err)
+		}
+		fns[i] = f
+	}
+	inst, err := singleton(fmt.Sprintf("zero-offset-m%d-n%d-d%g", m, n, degree), n, fns, rng)
+	if err != nil {
+		return nil, err
+	}
+	inst.Description = fmt.Sprintf("%d links a·(x/n)^%g (Theorem 9 regime), n=%d", m, degree, n)
+	return inst, nil
+}
+
+// LastAgent builds the Ω(n)-lower-bound instance from the end of Section 4:
+// n = 2m players on m identical unit-slope links with loads x_1 = 3,
+// x_2 = 1, and x_i = 2 elsewhere. The unique improvement is one player
+// moving from link 1 to link 2, which a sampling protocol finds only with
+// probability O(1/n) per round.
+func LastAgent(n int) (*Instance, error) {
+	if n < 6 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: last-agent needs even n ≥ 6, got %d", ErrInvalid, n)
+	}
+	m := n / 2
+	fns := make([]latency.Function, m)
+	for i := range fns {
+		f, err := latency.NewLinear(1)
+		if err != nil {
+			return nil, fmt.Errorf("workload: last-agent link: %w", err)
+		}
+		fns[i] = f
+	}
+	resources := make([]game.Resource, m)
+	strategies := make([][]int, m)
+	for i, f := range fns {
+		resources[i] = game.Resource{Name: fmt.Sprintf("link%d", i), Latency: f}
+		strategies[i] = []int{i}
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("last-agent-n%d", n),
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: last-agent game: %w", err)
+	}
+	assign := make([]int32, 0, n)
+	for i := 0; i < 3; i++ {
+		assign = append(assign, 0)
+	}
+	assign = append(assign, 1)
+	for link := 2; link < m; link++ {
+		assign = append(assign, int32(link), int32(link))
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("workload: last-agent state: %w", err)
+	}
+	return &Instance{
+		Game:        g,
+		State:       st,
+		Oracle:      eq.SingletonOracle{},
+		Description: fmt.Sprintf("last-agent Ω(n) instance: loads 3,1,2,…,2 on %d unit links", m),
+	}, nil
+}
+
+// PolyNetwork builds a symmetric network congestion game on a random
+// layered DAG with polynomial latencies a_e·x^degree + b_e (a_e ∈ [1,4],
+// b_e ∈ [0,1]). The initial strategy universe is `initPaths` paths sampled
+// uniformly from the (possibly exponential) path space; players start
+// uniformly on them.
+func PolyNetwork(layers, width, n int, degree float64, initPaths int, rng *rand.Rand) (*Instance, error) {
+	if n < 1 || initPaths < 1 {
+		return nil, fmt.Errorf("%w: n=%d initPaths=%d", ErrInvalid, n, initPaths)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("%w: degree %v must be ≥ 1", ErrInvalid, degree)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	net, err := graph.Layered(layers, width, 0.5, rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload: poly-network graph: %w", err)
+	}
+	sampler, err := graph.NewPathSampler(net.G, net.S, net.T)
+	if err != nil {
+		return nil, fmt.Errorf("workload: poly-network sampler: %w", err)
+	}
+	resources := make([]game.Resource, net.G.NumEdges())
+	for e := range resources {
+		var f latency.Function
+		coeff := 1 + rng.Float64()*3
+		offset := rng.Float64()
+		if degree == 1 {
+			f, err = latency.NewAffine(coeff, offset)
+		} else {
+			f, err = latency.NewPolynomial(append(append([]float64{offset}, make([]float64, int(degree)-1)...), coeff)...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: poly-network latency: %w", err)
+		}
+		resources[e] = game.Resource{Name: fmt.Sprintf("edge%d", e), Latency: f}
+	}
+	// The network may have fewer distinct paths than requested.
+	if total := sampler.NumPaths(); total.IsInt64() && int64(initPaths) > total.Int64() {
+		initPaths = int(total.Int64())
+	}
+	seen := make(map[string]bool, initPaths)
+	var strategies [][]int
+	for len(strategies) < initPaths {
+		p := sampler.Sample(rng)
+		key := fmt.Sprint(p)
+		if !seen[key] {
+			seen[key] = true
+			strategies = append(strategies, p)
+		}
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("poly-network-l%d-w%d-n%d-d%g", layers, width, n, degree),
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: poly-network game: %w", err)
+	}
+	st, err := game.NewRandomState(g, rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload: poly-network state: %w", err)
+	}
+	netCopy := net
+	return &Instance{
+		Game:        g,
+		State:       st,
+		Net:         &netCopy,
+		Oracle:      eq.NewNetworkOracle(net),
+		Description: fmt.Sprintf("layered DAG %d×%d, degree-%g polynomials, n=%d, %d initial paths", layers, width, degree, n, initPaths),
+	}, nil
+}
+
+// Braess builds the Braess network game: edges (s,a) and (b,t) have latency
+// x/n (1 at full congestion), edges (s,b) and (a,t) have constant latency
+// 1.2, and the shortcut (a,b) costs 0.05. With these constants the
+// balanced outer split (cost 1.7 per player) is strictly improved upon by
+// the zig-zag s→a→b→t, and the all-on-zig-zag state (cost 2.05) is the
+// unique Nash equilibrium: the textbook paradox. All three paths are
+// registered; players start on the two outer paths.
+func Braess(n int) (*Instance, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("%w: braess needs even n ≥ 2, got %d", ErrInvalid, n)
+	}
+	net, err := graph.Braess()
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess graph: %w", err)
+	}
+	varying, err := latency.NewLinear(1 / float64(n))
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess linear: %w", err)
+	}
+	constant, err := latency.NewConstant(1.2)
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess constant: %w", err)
+	}
+	shortcut, err := latency.NewConstant(0.05)
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess shortcut: %w", err)
+	}
+	// Edge IDs per graph.Braess: (s,a)=0, (s,b)=1, (a,t)=2, (b,t)=3, (a,b)=4.
+	resources := []game.Resource{
+		{Name: "s→a", Latency: varying},
+		{Name: "s→b", Latency: constant},
+		{Name: "a→t", Latency: constant},
+		{Name: "b→t", Latency: varying},
+		{Name: "a→b", Latency: shortcut},
+	}
+	g, err := game.New(game.Config{
+		Name:      fmt.Sprintf("braess-n%d", n),
+		Resources: resources,
+		Players:   n,
+		Strategies: [][]int{
+			{0, 2},    // top: s→a→t
+			{1, 3},    // bottom: s→b→t
+			{0, 4, 3}, // zig-zag: s→a→b→t
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess game: %w", err)
+	}
+	assign := make([]int32, n)
+	for i := n / 2; i < n; i++ {
+		assign[i] = 1
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("workload: braess state: %w", err)
+	}
+	return &Instance{
+		Game:        g,
+		State:       st,
+		Net:         &net,
+		Oracle:      eq.NewNetworkOracle(net),
+		Description: fmt.Sprintf("Braess network with shortcut, n=%d", n),
+	}, nil
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/latency"
+	"congame/internal/opt"
+	"congame/internal/prng"
+)
+
+func TestTwoLink(t *testing.T) {
+	inst, err := TwoLink(64, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Game
+	if g.NumPlayers() != 64 || g.NumResources() != 2 {
+		t.Fatalf("game shape: %d players, %d resources", g.NumPlayers(), g.NumResources())
+	}
+	if got := inst.State.Count(1); got != 4 {
+		t.Errorf("seed on poly link = %d, want 4", got)
+	}
+	// Elasticity must be the monomial degree.
+	if got := g.Elasticity(); got != 3 {
+		t.Errorf("Elasticity = %v, want 3", got)
+	}
+	// Constant link latency = (64/4)^3 = 4096.
+	if got := g.Resource(0).Latency.Value(10); got != 4096 {
+		t.Errorf("constant latency = %v, want 4096", got)
+	}
+	// Balance point: latency of poly link at n/4 = const.
+	if got := g.Resource(1).Latency.Value(16); got != 4096 {
+		t.Errorf("poly latency at n/4 = %v, want 4096", got)
+	}
+}
+
+func TestTwoLinkValidation(t *testing.T) {
+	if _, err := TwoLink(2, 3, 0); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := TwoLink(8, 0.5, 0); err == nil {
+		t.Error("degree 0.5 accepted")
+	}
+	if _, err := TwoLink(8, 2, 9); err == nil {
+		t.Error("seed > n accepted")
+	}
+}
+
+func TestUniformSingletons(t *testing.T) {
+	inst, err := UniformSingletons(4, 100, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Game.NumResources() != 4 || inst.Game.NumStrategies() != 4 {
+		t.Fatalf("shape: %d resources, %d strategies", inst.Game.NumResources(), inst.Game.NumStrategies())
+	}
+	if err := inst.State.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !inst.Game.IsSingleton() {
+		t.Error("not singleton")
+	}
+	if _, err := UniformSingletons(0, 5, prng.New(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := UniformSingletons(2, 5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLinearSingletonsSlopesInRange(t *testing.T) {
+	inst, err := LinearSingletons(20, 50, 8, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopes, err := opt.LinearSlopes(inst.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, a := range slopes {
+		if a < 1 || a > 8 {
+			t.Errorf("slope[%d] = %v out of [1,8]", e, a)
+		}
+	}
+	if _, err := LinearSingletons(2, 5, 0.5, prng.New(1)); err == nil {
+		t.Error("maxSlope < 1 accepted")
+	}
+}
+
+func TestZeroOffsetSingletons(t *testing.T) {
+	inst, err := ZeroOffsetSingletons(5, 200, 2, 3, prng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Game
+	// ℓ(0) = 0 on every link.
+	for e := 0; e < g.NumResources(); e++ {
+		if got := g.Resource(e).Latency.Value(0); got != 0 {
+			t.Errorf("link %d latency at 0 = %v, want 0", e, got)
+		}
+	}
+	// Scaling preserves elasticity = degree.
+	if got := g.Elasticity(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Elasticity = %v, want 2", got)
+	}
+	// ν shrinks with n: slope bound over loads 1..2 of a·(x/200)² is tiny.
+	if got := g.Nu(); got > 3*4.0/(200.0*200) {
+		t.Errorf("Nu = %v, suspiciously large", got)
+	}
+	if _, err := ZeroOffsetSingletons(2, 5, 0.5, 2, prng.New(1)); err == nil {
+		t.Error("degree < 1 accepted")
+	}
+}
+
+func TestLastAgent(t *testing.T) {
+	inst, err := LastAgent(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inst.State
+	if got := st.Load(0); got != 3 {
+		t.Errorf("load(0) = %d, want 3", got)
+	}
+	if got := st.Load(1); got != 1 {
+		t.Errorf("load(1) = %d, want 1", got)
+	}
+	for e := 2; e < inst.Game.NumResources(); e++ {
+		if got := st.Load(e); got != 2 {
+			t.Errorf("load(%d) = %d, want 2", e, got)
+		}
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Exactly one improving move exists: link 0 → link 1.
+	count := 0
+	for p := 0; p < 12; p++ {
+		if imp, ok := inst.Oracle.BestResponse(st, p, 0); ok {
+			count++
+			if len(imp.Strategy) != 1 || imp.Strategy[0] != 1 {
+				t.Errorf("player %d improvement = %v, want [1]", p, imp.Strategy)
+			}
+		}
+	}
+	if count != 3 { // the three players on link 0
+		t.Errorf("%d players can improve, want 3", count)
+	}
+	if _, err := LastAgent(7); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := LastAgent(4); err == nil {
+		t.Error("n=4 accepted")
+	}
+}
+
+func TestPolyNetwork(t *testing.T) {
+	inst, err := PolyNetwork(3, 3, 40, 2, 5, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Net == nil {
+		t.Fatal("Net is nil")
+	}
+	if got := inst.Game.NumStrategies(); got < 2 || got > 5 {
+		t.Errorf("initial strategies = %d, want 2..5 (capped by path count)", got)
+	}
+	if err := inst.State.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every registered strategy is a valid s-t path.
+	for s := 0; s < inst.Game.NumStrategies(); s++ {
+		edges := inst.Game.Strategy(s)
+		v := inst.Net.S
+		for _, id := range edges {
+			e := inst.Net.G.Edge(id)
+			if e.From != v {
+				t.Fatalf("strategy %d is not a connected path", s)
+			}
+			v = e.To
+		}
+		if v != inst.Net.T {
+			t.Fatalf("strategy %d does not reach the sink", s)
+		}
+	}
+	// Elasticity ≈ degree (affine offsets keep it slightly below).
+	if got := inst.Game.Elasticity(); got > 2 || got < 1.5 {
+		t.Errorf("Elasticity = %v, want ≈ 2", got)
+	}
+	if _, err := PolyNetwork(3, 3, 0, 2, 5, prng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PolyNetwork(3, 3, 10, 2, 5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPolyNetworkDegreeOne(t *testing.T) {
+	inst, err := PolyNetwork(2, 2, 10, 1, 3, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Game.Elasticity(); got > 1 {
+		t.Errorf("degree-1 network elasticity = %v, want ≤ 1", got)
+	}
+}
+
+func TestBraess(t *testing.T) {
+	inst, err := Braess(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Game
+	if g.NumStrategies() != 3 {
+		t.Fatalf("strategies = %d, want 3", g.NumStrategies())
+	}
+	// Initial: half on top, half on bottom; shortcut unused.
+	if inst.State.Count(0) != 10 || inst.State.Count(1) != 10 {
+		t.Errorf("initial counts = %d/%d, want 10/10", inst.State.Count(0), inst.State.Count(1))
+	}
+	if inst.State.Load(4) != 0 {
+		t.Error("shortcut edge initially loaded")
+	}
+	// At the balanced split each outer path costs 0.5 + 1.2 = 1.7, but the
+	// zig-zag costs 0.5 + 0.05 + (10+1)/20 = 1.1: improving → Braess
+	// paradox is live.
+	st := inst.State
+	if gain := st.Gain(0, 2); gain <= 0 {
+		t.Errorf("zig-zag not improving from balanced split (gain %v)", gain)
+	}
+	if _, err := Braess(7); err == nil {
+		t.Error("odd n accepted")
+	}
+}
+
+func TestInstancesValidateAgainstOracles(t *testing.T) {
+	// Smoke test: every instance's oracle runs without error on its state.
+	rng := prng.New(44)
+	build := []func() (*Instance, error){
+		func() (*Instance, error) { return TwoLink(16, 2, 2) },
+		func() (*Instance, error) { return UniformSingletons(3, 12, rng) },
+		func() (*Instance, error) { return LinearSingletons(4, 12, 5, rng) },
+		func() (*Instance, error) { return ZeroOffsetSingletons(3, 24, 2, 2, rng) },
+		func() (*Instance, error) { return LastAgent(8) },
+		func() (*Instance, error) { return PolyNetwork(2, 3, 12, 2, 4, rng) },
+		func() (*Instance, error) { return Braess(8) },
+	}
+	for i, b := range build {
+		inst, err := b()
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if inst.Description == "" {
+			t.Errorf("instance %d has no description", i)
+		}
+		for p := 0; p < inst.Game.NumPlayers(); p++ {
+			inst.Oracle.BestResponse(inst.State, p, 0)
+		}
+		if err := inst.State.Validate(); err != nil {
+			t.Errorf("instance %d: %v", i, err)
+		}
+	}
+}
+
+// Cross-check: the Braess game's latency functions reproduce the textbook
+// equilibrium degradation — all players on the zig-zag is the unique Nash,
+// and it is worse than the balanced split.
+func TestBraessParadox(t *testing.T) {
+	inst, err := Braess(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balancedCost := inst.State.SocialCost()
+	all := make([]int32, 20)
+	for i := range all {
+		all[i] = 2
+	}
+	zigzag, err := game.NewStateFromAssignment(inst.Game, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.IsNash(zigzag, inst.Oracle, 1e-9) {
+		t.Error("all-on-zigzag is not Nash")
+	}
+	if zigzag.SocialCost() <= balancedCost {
+		t.Errorf("paradox missing: zig-zag cost %v ≤ balanced %v", zigzag.SocialCost(), balancedCost)
+	}
+	_ = latency.Function(nil)
+}
