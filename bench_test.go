@@ -185,7 +185,7 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := e.Run(50, func(st *game.State, r core.RoundStats) bool { return false })
+	res := e.Run(50, func(game.Snapshot, core.RoundStats) bool { return false })
 	if res.Rounds != 50 {
 		t.Fatalf("ran %d rounds, want 50", res.Rounds)
 	}

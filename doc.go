@@ -12,6 +12,13 @@
 // that reproduces every theorem-level claim (see DESIGN.md and
 // EXPERIMENTS.md).
 //
+// All latency consumers run against the game.Snapshot interface: the
+// engine precomputes every resource and strategy latency once per round
+// into an immutable game.RoundView (O(m) per round), so protocol
+// decisions, stop conditions, and equilibrium checks are table lookups
+// with no latency-function dispatch on the hot path; game.State's direct
+// methods remain the bit-identical reference implementation (DESIGN.md §2).
+//
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds

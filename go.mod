@@ -1,0 +1,3 @@
+module congame
+
+go 1.24

@@ -79,14 +79,16 @@ func BestResponse(st *game.State, oracle eq.Oracle, pol Policy, rng *rand.Rand, 
 		return Result{}, fmt.Errorf("%w: random policy needs rng", ErrInvalid)
 	}
 	n := st.Game().NumPlayers()
+	view := new(game.RoundView) // filled by Reset at each step
 	for step := 0; step < maxSteps; step++ {
+		view.Reset(st)
 		type cand struct {
 			player int
 			imp    eq.Improvement
 		}
 		var candidates []cand
 		for p := 0; p < n; p++ {
-			if imp, ok := oracle.BestResponse(st, p, 0); ok {
+			if imp, ok := oracle.BestResponse(view, p, 0); ok {
 				candidates = append(candidates, cand{player: p, imp: imp})
 				if pol == PolicyFirst {
 					break
@@ -138,17 +140,19 @@ func EpsilonGreedyBestResponse(st *game.State, oracle eq.Oracle, eps float64, rn
 		return Result{}, fmt.Errorf("%w: nil rng", ErrInvalid)
 	}
 	n := st.Game().NumPlayers()
+	view := new(game.RoundView) // filled by Reset at each step
 	for step := 0; step < maxSteps; step++ {
+		view.Reset(st)
 		type cand struct {
 			player int
 			imp    eq.Improvement
 		}
 		var candidates []cand
 		for p := 0; p < n; p++ {
-			lp := st.PlayerLatency(p)
+			lp := view.PlayerLatency(p)
 			// ℓ_P > (1+ε)·ℓ_Q' ⇔ gain > ℓ_P·ε/(1+ε).
 			minGain := lp * eps / (1 + eps)
-			if imp, ok := oracle.BestResponse(st, p, minGain); ok {
+			if imp, ok := oracle.BestResponse(view, p, minGain); ok {
 				candidates = append(candidates, cand{player: p, imp: imp})
 			}
 		}
@@ -175,16 +179,18 @@ type imitationMove struct {
 }
 
 // improvingImitations lists all improving imitation moves (gain > minGain)
-// available in the state, respecting player classes.
-func improvingImitations(st *game.State, minGain float64) []imitationMove {
-	g := st.Game()
+// available in the snapshot, respecting player classes. Callers on a hot
+// path pass a RoundView so every gain is a table lookup; the memoized DFS
+// passes its constantly mutating work state directly.
+func improvingImitations(v game.Snapshot, minGain float64) []imitationMove {
+	g := v.Game()
 	var moves []imitationMove
 	for c := 0; c < g.NumClasses(); c++ {
 		members := g.ClassMembers(c)
 		// Occupied strategies within the class.
 		occupied := make(map[int]struct{})
 		for _, p := range members {
-			occupied[st.Assign(int(p))] = struct{}{}
+			occupied[v.Assign(int(p))] = struct{}{}
 		}
 		targets := make([]int, 0, len(occupied))
 		for s := range occupied {
@@ -192,12 +198,12 @@ func improvingImitations(st *game.State, minGain float64) []imitationMove {
 		}
 		sort.Ints(targets)
 		for _, p := range members {
-			from := st.Assign(int(p))
+			from := v.Assign(int(p))
 			for _, to := range targets {
 				if to == from {
 					continue
 				}
-				if gain := st.Gain(from, to); gain > minGain {
+				if gain := v.Gain(from, to); gain > minGain {
 					moves = append(moves, imitationMove{player: int(p), to: to, gain: gain})
 				}
 			}
@@ -222,8 +228,9 @@ func SequentialImitation(st *game.State, pol Policy, minGain float64, rng *rand.
 	if minGain < 0 {
 		return Result{}, fmt.Errorf("%w: minGain = %v", ErrInvalid, minGain)
 	}
+	view := new(game.RoundView) // filled by Reset at each step
 	for step := 0; step < maxSteps; step++ {
-		moves := improvingImitations(st, minGain)
+		moves := improvingImitations(view.Reset(st), minGain)
 		if len(moves) == 0 {
 			return Result{Steps: step, Converged: true}, nil
 		}
@@ -346,8 +353,9 @@ func Goldberg(st *game.State, rng *rand.Rand, maxSteps int) (Result, error) {
 	}
 	n := g.NumPlayers()
 	oracle := eq.SingletonOracle{}
+	view := new(game.RoundView) // filled by Reset at each step
 	for step := 0; step < maxSteps; step++ {
-		if step%n == 0 && eq.IsNash(st, oracle, 0) {
+		if step%n == 0 && eq.IsNash(view.Reset(st), oracle, 0) {
 			return Result{Steps: step, Converged: true}, nil
 		}
 		p := rng.Intn(n)
@@ -368,7 +376,7 @@ func Goldberg(st *game.State, rng *rand.Rand, maxSteps int) (Result, error) {
 			st.Move(p, id)
 		}
 	}
-	if eq.IsNash(st, eq.SingletonOracle{}, 0) {
+	if eq.IsNash(view.Reset(st), eq.SingletonOracle{}, 0) {
 		return Result{Steps: maxSteps, Converged: true}, nil
 	}
 	return Result{Steps: maxSteps, Converged: false}, nil

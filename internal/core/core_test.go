@@ -606,15 +606,15 @@ func TestEngineRunBudgetExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := e.Run(3, func(*game.State, RoundStats) bool { return false })
+	res := e.Run(3, func(game.Snapshot, RoundStats) bool { return false })
 	if res.Converged || res.Rounds != 3 {
 		t.Errorf("Run = %+v, want 3 rounds without convergence", res)
 	}
 }
 
 func TestStopCombinators(t *testing.T) {
-	always := func(*game.State, RoundStats) bool { return true }
-	never := func(*game.State, RoundStats) bool { return false }
+	always := func(game.Snapshot, RoundStats) bool { return true }
+	never := func(game.Snapshot, RoundStats) bool { return false }
 	g := singletonGame(t, 2, mustLinear(t, 1))
 	st, err := game.NewState(g, 0)
 	if err != nil {

@@ -46,15 +46,19 @@ type RoundObserver interface {
 	Observe(RoundStats)
 }
 
-// StopCondition inspects the state after each round and reports whether the
-// run should stop. Conditions must treat the state as read-only.
-type StopCondition func(st *game.State, r RoundStats) bool
+// StopCondition inspects a snapshot of the state after each round and
+// reports whether the run should stop. The engine passes a lazily
+// refreshed snapshot: equilibrium predicates run on cached RoundView
+// latency tables, while conditions that only read RoundStats never pay
+// for the rebuild. Conditions must treat the snapshot as read-only.
+type StopCondition func(v game.Snapshot, r RoundStats) bool
 
 // Engine executes a protocol for all players concurrently, round by round.
-// Decisions are computed by a goroutine pool against the immutable
-// round-start state; migrations are applied sequentially afterwards.
-// Trajectories are deterministic in (seed, protocol, initial state)
-// regardless of GOMAXPROCS.
+// At the start of every round it builds one immutable game.RoundView (all
+// resource and strategy latencies, precomputed in O(m + Σ|P|)); decisions
+// are computed by a goroutine pool against that shared view, then
+// migrations are applied sequentially. Trajectories are deterministic in
+// (seed, protocol, initial state) regardless of GOMAXPROCS.
 type Engine struct {
 	st        *game.State
 	proto     Protocol
@@ -65,6 +69,8 @@ type Engine struct {
 	moves     int
 	observers []RoundObserver
 	decisions []Decision
+	view      *game.RoundView
+	streams   []*prng.Reusable // one reusable decision stream per worker
 }
 
 // Option configures an Engine.
@@ -105,6 +111,7 @@ func NewEngine(st *game.State, proto Protocol, opts ...Option) (*Engine, error) 
 		workers:   runtime.GOMAXPROCS(0),
 		phi:       st.Potential(),
 		decisions: make([]Decision, st.Game().NumPlayers()),
+		view:      game.NewRoundView(st),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -121,23 +128,83 @@ func (e *Engine) Round() int { return e.round }
 // Potential returns the incrementally maintained Rosenthal potential.
 func (e *Engine) Potential() float64 { return e.phi }
 
-// Step executes one concurrent round: every player decides against the
-// round-start state in parallel, then all migrations are applied.
+// Snapshot refreshes the engine's reusable RoundView from the current
+// state and returns it. The returned view is valid until the next Step,
+// Snapshot, or direct state mutation.
+func (e *Engine) Snapshot() *game.RoundView {
+	return e.view.Reset(e.st)
+}
+
+// lazySnapshot defers the RoundView rebuild until a stop condition
+// actually queries it, so conditions that only read RoundStats (quiet
+// detection, potential thresholds) cost nothing per round while
+// equilibrium predicates still get cached tables. Run marks it stale
+// before every stop invocation; the first query rebuilds at most once.
+type lazySnapshot struct {
+	e     *Engine
+	stale bool
+}
+
+var _ game.Snapshot = (*lazySnapshot)(nil)
+
+func (l *lazySnapshot) view() *game.RoundView {
+	if l.stale {
+		l.e.view.Reset(l.e.st)
+		l.stale = false
+	}
+	return l.e.view
+}
+
+func (l *lazySnapshot) Game() *game.Game              { return l.e.st.Game() }
+func (l *lazySnapshot) Assign(p int) int              { return l.e.st.Assign(p) }
+func (l *lazySnapshot) Count(s int) int64             { return l.e.st.Count(s) }
+func (l *lazySnapshot) Load(e int) int64              { return l.e.st.Load(e) }
+func (l *lazySnapshot) Support() []int                { return l.e.st.Support() }
+func (l *lazySnapshot) ResourceLatency(e int) float64 { return l.view().ResourceLatency(e) }
+func (l *lazySnapshot) ResourceJoinLatency(e int) float64 {
+	return l.view().ResourceJoinLatency(e)
+}
+func (l *lazySnapshot) StrategyLatency(s int) float64 { return l.view().StrategyLatency(s) }
+func (l *lazySnapshot) JoinLatency(s int) float64     { return l.view().JoinLatency(s) }
+func (l *lazySnapshot) SwitchLatency(from, to int) float64 {
+	return l.view().SwitchLatency(from, to)
+}
+func (l *lazySnapshot) SwitchLatencyTo(from int, resources []int) float64 {
+	return l.view().SwitchLatencyTo(from, resources)
+}
+func (l *lazySnapshot) Gain(from, to int) float64   { return l.view().Gain(from, to) }
+func (l *lazySnapshot) PlayerLatency(p int) float64 { return l.view().PlayerLatency(p) }
+func (l *lazySnapshot) AvgLatency() float64         { return l.view().AvgLatency() }
+func (l *lazySnapshot) AvgJoinLatency() float64     { return l.view().AvgJoinLatency() }
+
+// stream returns the lazily allocated reusable PRNG stream for a worker.
+func (e *Engine) stream(w int) *prng.Reusable {
+	for len(e.streams) <= w {
+		e.streams = append(e.streams, prng.NewReusable())
+	}
+	return e.streams[w]
+}
+
+// Step executes one concurrent round: the round-start snapshot is built
+// once, every player decides against it in parallel, then all migrations
+// are applied.
 func (e *Engine) Step() RoundStats {
 	n := e.st.Game().NumPlayers()
 
-	// Decision phase: read-only on state, parallel over players. Each
-	// worker reuses one stream object, re-seeded per player, so decisions
-	// are identical to fresh prng.Stream draws without per-player
-	// allocations.
+	// Decision phase: one immutable RoundView shared by all workers — the
+	// O(m) precompute replaces O(n·|S|·|P|) latency-function dispatches.
+	// Each worker reuses one stream object, re-seeded per player, so
+	// decisions are identical to fresh prng.Stream draws without
+	// per-player allocations.
+	view := e.view.Reset(e.st)
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		stream := prng.NewReusable()
+		stream := e.stream(0)
 		for p := 0; p < n; p++ {
-			e.decisions[p] = e.proto.Decide(e.st, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+			e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -152,13 +219,12 @@ func (e *Engine) Step() RoundStats {
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(lo, hi int, stream *prng.Reusable) {
 				defer wg.Done()
-				stream := prng.NewReusable()
 				for p := lo; p < hi; p++ {
-					e.decisions[p] = e.proto.Decide(e.st, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+					e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
 				}
-			}(lo, hi)
+			}(lo, hi, e.stream(w))
 		}
 		wg.Wait()
 	}
@@ -211,21 +277,36 @@ func (e *Engine) Step() RoundStats {
 // Run executes rounds until the stop condition fires or maxRounds rounds
 // have been executed. A nil stop condition runs exactly maxRounds rounds.
 // The stop condition is also evaluated once before the first round, so a
-// state that is already stable reports Converged with zero rounds.
+// state that is already stable reports Converged with zero rounds. Stop
+// conditions receive a lazily built snapshot of the post-round state:
+// latency queries run on cached RoundView tables, and conditions that
+// only read RoundStats never pay for the rebuild.
 func (e *Engine) Run(maxRounds int, stop StopCondition) RunResult {
-	if stop != nil && stop(e.st, RoundStats{Round: e.round - 1, Potential: e.phi}) {
-		return RunResult{
-			Rounds:    0,
-			Converged: true,
-			Final:     RoundStats{Round: e.round - 1, Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()},
+	snap := &lazySnapshot{e: e}
+	if stop != nil {
+		snap.stale = true
+		if stop(snap, RoundStats{Round: e.round - 1, Potential: e.phi}) {
+			return RunResult{Rounds: 0, Converged: true, TotalMoves: e.moves, Final: e.currentStats()}
 		}
+	}
+	if maxRounds <= 0 {
+		// Zero budget: report the current state's statistics rather than a
+		// zero-valued RoundStats, mirroring the early-converged path.
+		return RunResult{Rounds: 0, Converged: false, TotalMoves: e.moves, Final: e.currentStats()}
 	}
 	var last RoundStats
 	for i := 0; i < maxRounds; i++ {
 		last = e.Step()
-		if stop != nil && stop(e.st, last) {
+		snap.stale = true
+		if stop != nil && stop(snap, last) {
 			return RunResult{Rounds: i + 1, Converged: true, TotalMoves: e.moves, Final: last}
 		}
 	}
 	return RunResult{Rounds: maxRounds, Converged: false, TotalMoves: e.moves, Final: last}
+}
+
+// currentStats summarizes the engine's current state as a RoundStats record
+// attributed to the last completed round.
+func (e *Engine) currentStats() RoundStats {
+	return RoundStats{Round: e.round - 1, Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()}
 }

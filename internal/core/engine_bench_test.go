@@ -1,0 +1,128 @@
+package core
+
+// Decision-phase benchmarks: the same engine round with the protocol
+// reading the per-round RoundView tables (the production path) versus the
+// reference implementation that dispatches through the latency functions
+// on every query. `go test -bench BenchmarkEngine -benchmem ./internal/core`
+// quantifies the snapshot layer's speedup.
+
+import (
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+func benchStep(b *testing.B, st *game.State, proto Protocol) {
+	b.Helper()
+	e, err := NewEngine(st, proto, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func singletonInstance(b *testing.B, n int) (*game.State, *Imitation) {
+	b.Helper()
+	inst, err := workload.LinearSingletons(20, n, 4, prng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.State, im
+}
+
+func networkInstance(b *testing.B, n int) (*game.State, *Imitation) {
+	b.Helper()
+	inst, err := workload.PolyNetwork(4, 4, n, 2, 10, prng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.State, im
+}
+
+// BenchmarkEngineRoundViewSingletons: production path, cached lookups.
+func BenchmarkEngineRoundViewSingletons(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(benchN(n), func(b *testing.B) {
+			st, im := singletonInstance(b, n)
+			benchStep(b, st, im)
+		})
+	}
+}
+
+// BenchmarkEngineRoundDirectSingletons: reference path, per-query latency
+// function dispatch (the pre-snapshot implementation).
+func BenchmarkEngineRoundDirectSingletons(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(benchN(n), func(b *testing.B) {
+			st, im := singletonInstance(b, n)
+			benchStep(b, st, directImitation{im})
+		})
+	}
+}
+
+// BenchmarkEngineRoundViewNetwork: cached lookups on a network game whose
+// strategies are multi-resource paths.
+func BenchmarkEngineRoundViewNetwork(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(benchN(n), func(b *testing.B) {
+			st, im := networkInstance(b, n)
+			benchStep(b, st, im)
+		})
+	}
+}
+
+// BenchmarkEngineRoundDirectNetwork: reference path on the network game.
+func BenchmarkEngineRoundDirectNetwork(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(benchN(n), func(b *testing.B) {
+			st, im := networkInstance(b, n)
+			benchStep(b, st, directImitation{im})
+		})
+	}
+}
+
+// BenchmarkEngineRoundViewBuild isolates the per-round snapshot cost.
+func BenchmarkEngineRoundViewBuild(b *testing.B) {
+	st, _ := networkInstance(b, 10000)
+	view := game.NewRoundView(st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Reset(st)
+	}
+}
+
+func benchN(n int) string {
+	if n >= 1000 {
+		return "n=" + itoa(n/1000) + "k"
+	}
+	return "n=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

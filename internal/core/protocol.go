@@ -12,10 +12,11 @@
 //     by 1/d (imitation, d = elasticity bound) or |P|·ℓmin/(β·n)
 //     (exploration) to prevent overshooting.
 //
-// Decisions within a round are pure functions of the round-start state and
-// a per-(seed, round, player) random stream, so the engine evaluates them
-// concurrently with goroutines and still produces bit-identical runs for a
-// fixed seed.
+// Decisions within a round are pure functions of the round-start snapshot
+// (an immutable game.RoundView holding every resource and strategy latency,
+// built once per round in O(m)) and a per-(seed, round, player) random
+// stream, so the engine evaluates them concurrently with goroutines and
+// still produces bit-identical runs for a fixed seed.
 package core
 
 import (
@@ -55,12 +56,15 @@ type Decision struct {
 var stay = Decision{}
 
 // Protocol computes one player's migration decision for the current round.
-// Decide must treat st as read-only; it is called concurrently for
-// different players.
+// Decide is called concurrently for different players against the same
+// immutable round-start snapshot; it must not mutate the view, its state,
+// or the game.
 type Protocol interface {
-	// Decide returns the player's decision given the round-start state and
-	// the player's private random stream for this round.
-	Decide(st *game.State, player int, rng *rand.Rand) Decision
+	// Decide returns the player's decision given the round-start snapshot
+	// and the player's private random stream for this round. All latency
+	// queries on the view are table lookups — the engine precomputes every
+	// resource latency once per round.
+	Decide(view *game.RoundView, player int, rng *rand.Rand) Decision
 	// Name identifies the protocol in logs and tables.
 	Name() string
 }
@@ -126,16 +130,16 @@ func (im *Imitation) Lambda() float64 { return im.lambda }
 func (im *Imitation) Name() string { return "imitation" }
 
 // Decide implements Protocol.
-func (im *Imitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+func (im *Imitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	members := im.g.ClassMembers(im.g.ClassOf(player))
 	sampled := members[rng.Intn(len(members))]
-	from := st.Assign(player)
-	to := st.Assign(int(sampled))
+	from := view.Assign(player)
+	to := view.Assign(int(sampled))
 	if from == to {
 		return stay
 	}
-	lp := st.StrategyLatency(from)
-	lq := st.SwitchLatency(from, to)
+	lp := view.StrategyLatency(from)
+	lq := view.SwitchLatency(from, to)
 	gain := lp - lq
 	if gain <= im.nu || lp <= 0 {
 		return stay
@@ -267,11 +271,11 @@ func (ex *Exploration) Name() string { return "exploration" }
 func (ex *Exploration) Factor() float64 { return ex.factor }
 
 // Decide implements Protocol.
-func (ex *Exploration) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+func (ex *Exploration) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	strategy := ex.sampler.SampleStrategy(rng)
-	from := st.Assign(player)
-	lp := st.StrategyLatency(from)
-	lq := st.SwitchLatencyTo(from, strategy)
+	from := view.Assign(player)
+	lp := view.StrategyLatency(from)
+	lq := view.SwitchLatencyTo(from, strategy)
 	gain := lp - lq
 	if gain <= 0 || lp <= 0 {
 		return stay
@@ -339,11 +343,11 @@ func NewCombined(g *game.Game, cfg CombinedConfig) (*Combined, error) {
 func (c *Combined) Name() string { return "combined" }
 
 // Decide implements Protocol.
-func (c *Combined) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+func (c *Combined) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	if rng.Float64() < c.prob {
-		return c.ex.Decide(st, player, rng)
+		return c.ex.Decide(view, player, rng)
 	}
-	return c.im.Decide(st, player, rng)
+	return c.im.Decide(view, player, rng)
 }
 
 // VirtualImitation is the second Nash-convergence extension discussed in
@@ -386,21 +390,21 @@ func (vi *VirtualImitation) Name() string { return "imitation-virtual" }
 func (vi *VirtualImitation) Nu() float64 { return vi.nu }
 
 // Decide implements Protocol.
-func (vi *VirtualImitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+func (vi *VirtualImitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	n := vi.g.NumPlayers()
 	k := vi.g.NumStrategies()
 	var to int
 	if u := rng.Intn(n + k); u < n {
-		to = st.Assign(u)
+		to = view.Assign(u)
 	} else {
 		to = u - n // a virtual agent pinned to strategy u−n
 	}
-	from := st.Assign(player)
+	from := view.Assign(player)
 	if from == to {
 		return stay
 	}
-	lp := st.StrategyLatency(from)
-	gain := lp - st.SwitchLatency(from, to)
+	lp := view.StrategyLatency(from)
+	gain := lp - view.SwitchLatency(from, to)
 	if gain <= vi.nu || lp <= 0 {
 		return stay
 	}
@@ -439,16 +443,16 @@ func NewUndampedImitation(g *game.Game, lambda, nu float64) (*UndampedImitation,
 func (u *UndampedImitation) Name() string { return "imitation-undamped" }
 
 // Decide implements Protocol.
-func (u *UndampedImitation) Decide(st *game.State, player int, rng *rand.Rand) Decision {
+func (u *UndampedImitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	members := u.g.ClassMembers(u.g.ClassOf(player))
 	sampled := members[rng.Intn(len(members))]
-	from := st.Assign(player)
-	to := st.Assign(int(sampled))
+	from := view.Assign(player)
+	to := view.Assign(int(sampled))
 	if from == to {
 		return stay
 	}
-	lp := st.StrategyLatency(from)
-	gain := lp - st.SwitchLatency(from, to)
+	lp := view.StrategyLatency(from)
+	gain := lp - view.SwitchLatency(from, to)
 	if gain <= u.nu || lp <= 0 {
 		return stay
 	}

@@ -1,0 +1,179 @@
+package core
+
+// Engine-level differential tests: protocols deciding through the
+// RoundView's cached tables must produce trajectories bit-identical to the
+// pre-snapshot reference implementation that dispatches through the
+// latency functions on every query. The reference protocols below replay
+// the exact decision rules against view.State()'s direct methods, drawing
+// from the same random streams.
+
+import (
+	"math/rand"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+// directImitation is Imitation.Decide computed through game.State's direct
+// latency methods — the reference path the RoundView must reproduce.
+type directImitation struct{ im *Imitation }
+
+func (d directImitation) Name() string { return "imitation-direct" }
+
+func (d directImitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
+	st := view.State()
+	im := d.im
+	members := im.g.ClassMembers(im.g.ClassOf(player))
+	sampled := members[rng.Intn(len(members))]
+	from := st.Assign(player)
+	to := st.Assign(int(sampled))
+	if from == to {
+		return stay
+	}
+	lp := st.StrategyLatency(from)
+	gain := lp - st.SwitchLatency(from, to)
+	if gain <= im.nu || lp <= 0 {
+		return stay
+	}
+	if rng.Float64() < im.lambda/im.d*gain/lp {
+		return Decision{Move: true, To: to}
+	}
+	return stay
+}
+
+// directExploration is Exploration.Decide through the direct methods.
+type directExploration struct{ ex *Exploration }
+
+func (d directExploration) Name() string { return "exploration-direct" }
+
+func (d directExploration) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
+	st := view.State()
+	ex := d.ex
+	strategy := ex.sampler.SampleStrategy(rng)
+	from := st.Assign(player)
+	lp := st.StrategyLatency(from)
+	gain := lp - st.SwitchLatencyTo(from, strategy)
+	if gain <= 0 || lp <= 0 {
+		return stay
+	}
+	mu := ex.factor * gain / lp
+	if mu > 1 {
+		mu = 1
+	}
+	if rng.Float64() >= mu {
+		return stay
+	}
+	if id, ok := ex.g.LookupStrategy(strategy); ok {
+		if id == from {
+			return stay
+		}
+		return Decision{Move: true, To: id}
+	}
+	return Decision{Move: true, NewStrategy: strategy}
+}
+
+// runPair drives two engines (cached vs reference) from identical initial
+// states with identical seeds and asserts bit-identical trajectories.
+func runPair(t *testing.T, mk func() (*game.State, Protocol, Protocol), rounds int, seed uint64) {
+	t.Helper()
+	stA, protoA, _ := mk()
+	stB, _, protoB := mk()
+	eA, err := NewEngine(stA, protoA, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, err := NewEngine(stB, protoB, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		sA := eA.Step()
+		sB := eB.Step()
+		if sA != sB {
+			t.Fatalf("round %d: stats diverged\nview:   %+v\ndirect: %+v", r, sA, sB)
+		}
+		a, b := stA.AssignmentView(), stB.AssignmentView()
+		for p := range a {
+			if a[p] != b[p] {
+				t.Fatalf("round %d: player %d on %d (view) vs %d (direct)", r, p, a[p], b[p])
+			}
+		}
+		if eA.Potential() != eB.Potential() {
+			t.Fatalf("round %d: potential %v (view) vs %v (direct)", r, eA.Potential(), eB.Potential())
+		}
+	}
+}
+
+func TestViewTrajectoryBitIdenticalImitationSingletons(t *testing.T) {
+	for _, seed := range []uint64{1, 99} {
+		runPair(t, func() (*game.State, Protocol, Protocol) {
+			inst, err := workload.LinearSingletons(15, 500, 4, prng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			im, err := NewImitation(inst.Game, ImitationConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inst.State, im, directImitation{im}
+		}, 60, seed)
+	}
+}
+
+func TestViewTrajectoryBitIdenticalImitationNetwork(t *testing.T) {
+	runPair(t, func() (*game.State, Protocol, Protocol) {
+		inst, err := workload.PolyNetwork(3, 3, 400, 2, 8, prng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(inst.Game, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, im, directImitation{im}
+	}, 60, 5)
+}
+
+func TestViewTrajectoryBitIdenticalExploration(t *testing.T) {
+	runPair(t, func() (*game.State, Protocol, Protocol) {
+		inst, err := workload.PolyNetwork(3, 3, 300, 2, 4, prng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExploration(inst.Game, ExplorationConfig{Sampler: NewRegisteredSampler(inst.Game)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, ex, directExploration{ex}
+	}, 60, 21)
+}
+
+func TestEngineRunZeroRoundsReportsCurrentStats(t *testing.T) {
+	inst, err := workload.LinearSingletons(5, 100, 3, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(inst.State, im, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(0, nil)
+	if res.Rounds != 0 || res.Converged {
+		t.Fatalf("Run(0,nil) = %+v, want 0 rounds, not converged", res)
+	}
+	if res.Final.Potential != e.Potential() {
+		t.Errorf("Final.Potential = %v, want %v", res.Final.Potential, e.Potential())
+	}
+	if want := inst.State.AvgLatency(); res.Final.AvgLatency != want {
+		t.Errorf("Final.AvgLatency = %v, want %v", res.Final.AvgLatency, want)
+	}
+	if want := inst.State.Makespan(); res.Final.MaxLatency != want {
+		t.Errorf("Final.MaxLatency = %v, want %v", res.Final.MaxLatency, want)
+	}
+}

@@ -8,8 +8,8 @@ import (
 // StopWhenImitationStable stops once no player could gain more than ν by
 // imitating another player — the paper's absorbing states.
 func StopWhenImitationStable(nu float64) StopCondition {
-	return func(st *game.State, _ RoundStats) bool {
-		return eq.IsImitationStable(st, nu)
+	return func(v game.Snapshot, _ RoundStats) bool {
+		return eq.IsImitationStable(v, nu)
 	}
 }
 
@@ -17,8 +17,8 @@ func StopWhenImitationStable(nu float64) StopCondition {
 // Invalid parameters never stop; construct-time validation belongs to the
 // experiment harness, which calls eq.CheckApprox directly.
 func StopWhenApproxEq(delta, eps, nu float64) StopCondition {
-	return func(st *game.State, _ RoundStats) bool {
-		report, err := eq.CheckApprox(st, delta, eps, nu)
+	return func(v game.Snapshot, _ RoundStats) bool {
+		report, err := eq.CheckApprox(v, delta, eps, nu)
 		return err == nil && report.AtEquilibrium
 	}
 }
@@ -26,15 +26,15 @@ func StopWhenApproxEq(delta, eps, nu float64) StopCondition {
 // StopWhenNash stops once no player has an improving deviation with gain
 // above eps, as certified by the oracle.
 func StopWhenNash(oracle eq.Oracle, eps float64) StopCondition {
-	return func(st *game.State, _ RoundStats) bool {
-		return eq.IsNash(st, oracle, eps)
+	return func(v game.Snapshot, _ RoundStats) bool {
+		return eq.IsNash(v, oracle, eps)
 	}
 }
 
 // StopWhenPotentialAtMost stops once the incrementally tracked potential
 // drops to the threshold.
 func StopWhenPotentialAtMost(phi float64) StopCondition {
-	return func(_ *game.State, r RoundStats) bool {
+	return func(_ game.Snapshot, r RoundStats) bool {
 		return r.Potential <= phi
 	}
 }
@@ -44,7 +44,7 @@ func StopWhenPotentialAtMost(phi float64) StopCondition {
 // probabilistically; it is a cheap proxy for huge instances.
 func StopWhenQuiet(rounds int) StopCondition {
 	quiet := 0
-	return func(_ *game.State, r RoundStats) bool {
+	return func(_ game.Snapshot, r RoundStats) bool {
 		if r.Round < 0 {
 			return false // pre-run probe: no migration information yet
 		}
@@ -59,9 +59,9 @@ func StopWhenQuiet(rounds int) StopCondition {
 
 // StopAny stops as soon as any of the given conditions fires.
 func StopAny(conds ...StopCondition) StopCondition {
-	return func(st *game.State, r RoundStats) bool {
+	return func(v game.Snapshot, r RoundStats) bool {
 		for _, c := range conds {
-			if c != nil && c(st, r) {
+			if c != nil && c(v, r) {
 				return true
 			}
 		}
@@ -71,9 +71,9 @@ func StopAny(conds ...StopCondition) StopCondition {
 
 // StopAll stops once all of the given conditions fire simultaneously.
 func StopAll(conds ...StopCondition) StopCondition {
-	return func(st *game.State, r RoundStats) bool {
+	return func(v game.Snapshot, r RoundStats) bool {
 		for _, c := range conds {
-			if c == nil || !c(st, r) {
+			if c == nil || !c(v, r) {
 				return false
 			}
 		}

@@ -20,26 +20,26 @@ var ErrInvalid = errors.New("eq: invalid")
 //
 // The check is quadratic in the support size (per class), not in the
 // strategy space.
-func IsImitationStable(st *game.State, nu float64) bool {
-	g := st.Game()
+func IsImitationStable(v game.Snapshot, nu float64) bool {
+	g := v.Game()
 	if g.NumClasses() == 1 {
-		return stableWithin(st, st.Support(), nu)
+		return stableWithin(v, v.Support(), nu)
 	}
 	for c := 0; c < g.NumClasses(); c++ {
-		support := classSupport(st, c)
-		if !stableWithin(st, support, nu) {
+		support := classSupport(v, c)
+		if !stableWithin(v, support, nu) {
 			return false
 		}
 	}
 	return true
 }
 
-func classSupport(st *game.State, class int) []int {
-	g := st.Game()
+func classSupport(v game.Snapshot, class int) []int {
+	g := v.Game()
 	seen := make(map[int]struct{})
 	var support []int
 	for _, p := range g.ClassMembers(class) {
-		s := st.Assign(int(p))
+		s := v.Assign(int(p))
 		if _, ok := seen[s]; !ok {
 			seen[s] = struct{}{}
 			support = append(support, s)
@@ -48,20 +48,20 @@ func classSupport(st *game.State, class int) []int {
 	return support
 }
 
-func stableWithin(st *game.State, support []int, nu float64) bool {
+func stableWithin(v game.Snapshot, support []int, nu float64) bool {
 	if len(support) < 2 {
 		return true
 	}
 	lat := make([]float64, len(support))
 	for i, s := range support {
-		lat[i] = st.StrategyLatency(s)
+		lat[i] = v.StrategyLatency(s)
 	}
 	for i, p := range support {
 		for j, q := range support {
 			if i == j {
 				continue
 			}
-			if lat[i] > st.SwitchLatency(p, q)+nu {
+			if lat[i] > v.SwitchLatency(p, q)+nu {
 				return false
 			}
 		}
@@ -94,7 +94,7 @@ func (r ApproxReport) UnsatisfiedFraction() float64 {
 // iff at most a δ-fraction of the players use strategies whose latency
 // deviates by more than an ε-fraction (plus ν) from the average: expensive
 // strategies have ℓ_P > (1+ε)·L⁺_av + ν, cheap ones ℓ_P < (1−ε)·L_av − ν.
-func CheckApprox(st *game.State, delta, eps, nu float64) (ApproxReport, error) {
+func CheckApprox(v game.Snapshot, delta, eps, nu float64) (ApproxReport, error) {
 	if delta < 0 || delta > 1 {
 		return ApproxReport{}, fmt.Errorf("%w: delta = %v, need [0,1]", ErrInvalid, delta)
 	}
@@ -104,19 +104,19 @@ func CheckApprox(st *game.State, delta, eps, nu float64) (ApproxReport, error) {
 	if nu < 0 {
 		return ApproxReport{}, fmt.Errorf("%w: nu = %v, need ≥ 0", ErrInvalid, nu)
 	}
-	lav := st.AvgLatency()
-	lavPlus := st.AvgJoinLatency()
+	lav := v.AvgLatency()
+	lavPlus := v.AvgJoinLatency()
 	upper := (1+eps)*lavPlus + nu
 	lower := (1-eps)*lav - nu
-	n := float64(st.Game().NumPlayers())
+	n := float64(v.Game().NumPlayers())
 	var expensive, cheap int64
-	for _, s := range st.Support() {
-		l := st.StrategyLatency(s)
+	for _, s := range v.Support() {
+		l := v.StrategyLatency(s)
 		switch {
 		case l > upper:
-			expensive += st.Count(s)
+			expensive += v.Count(s)
 		case l < lower:
-			cheap += st.Count(s)
+			cheap += v.Count(s)
 		}
 	}
 	report := ApproxReport{
@@ -143,16 +143,16 @@ type Improvement struct {
 type Oracle interface {
 	// BestResponse returns the best improving deviation for the player with
 	// gain strictly greater than minGain, or ok=false if there is none.
-	BestResponse(st *game.State, player int, minGain float64) (Improvement, bool)
+	BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool)
 }
 
 // IsNash reports whether no player has an improving deviation with gain
 // above eps (eps = 0 checks exact Nash equilibria, up to tol for float
 // noise).
-func IsNash(st *game.State, oracle Oracle, eps float64) bool {
-	n := st.Game().NumPlayers()
+func IsNash(v game.Snapshot, oracle Oracle, eps float64) bool {
+	n := v.Game().NumPlayers()
 	for p := 0; p < n; p++ {
-		if _, ok := oracle.BestResponse(st, p, eps); ok {
+		if _, ok := oracle.BestResponse(v, p, eps); ok {
 			return false
 		}
 	}
@@ -170,17 +170,17 @@ type EnumOracle struct{}
 var _ Oracle = EnumOracle{}
 
 // BestResponse implements Oracle.
-func (EnumOracle) BestResponse(st *game.State, player int, minGain float64) (Improvement, bool) {
-	g := st.Game()
-	from := st.Assign(player)
-	lp := st.StrategyLatency(from)
+func (EnumOracle) BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool) {
+	g := v.Game()
+	from := v.Assign(player)
+	lp := v.StrategyLatency(from)
 	bestGain := minGain
 	best := -1
 	for s := 0; s < g.NumStrategies(); s++ {
 		if s == from {
 			continue
 		}
-		gain := lp - st.SwitchLatency(from, s)
+		gain := lp - v.SwitchLatency(from, s)
 		if gain > bestGain+tol {
 			bestGain = gain
 			best = s
@@ -199,10 +199,10 @@ type SingletonOracle struct{}
 var _ Oracle = SingletonOracle{}
 
 // BestResponse implements Oracle.
-func (SingletonOracle) BestResponse(st *game.State, player int, minGain float64) (Improvement, bool) {
-	g := st.Game()
-	from := st.Assign(player)
-	lp := st.StrategyLatency(from)
+func (SingletonOracle) BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool) {
+	g := v.Game()
+	from := v.Assign(player)
+	lp := v.StrategyLatency(from)
 	fromRes := g.StrategyView(from)
 	bestGain := minGain
 	best := -1
@@ -210,7 +210,7 @@ func (SingletonOracle) BestResponse(st *game.State, player int, minGain float64)
 		if len(fromRes) == 1 && int(fromRes[0]) == e {
 			continue
 		}
-		after := g.Resource(e).Latency.Value(float64(st.Load(e) + 1))
+		after := v.ResourceJoinLatency(e)
 		if gain := lp - after; gain > bestGain+tol {
 			bestGain = gain
 			best = e
@@ -234,21 +234,21 @@ type RestrictedOracle struct {
 var _ Oracle = RestrictedOracle{}
 
 // BestResponse implements Oracle.
-func (o RestrictedOracle) BestResponse(st *game.State, player int, minGain float64) (Improvement, bool) {
-	g := st.Game()
+func (o RestrictedOracle) BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool) {
+	g := v.Game()
 	class := g.ClassOf(player)
 	if class >= len(o.AllowedByClass) {
 		return Improvement{}, false
 	}
-	from := st.Assign(player)
-	lp := st.StrategyLatency(from)
+	from := v.Assign(player)
+	lp := v.StrategyLatency(from)
 	bestGain := minGain
 	best := -1
 	for _, s := range o.AllowedByClass[class] {
 		if s == from {
 			continue
 		}
-		gain := lp - st.SwitchLatency(from, s)
+		gain := lp - v.SwitchLatency(from, s)
 		if gain > bestGain+tol {
 			bestGain = gain
 			best = s
@@ -280,12 +280,12 @@ func NewMultiNetworkOracle(nets []graph.Network) *MultiNetworkOracle {
 }
 
 // BestResponse implements Oracle.
-func (o *MultiNetworkOracle) BestResponse(st *game.State, player int, minGain float64) (Improvement, bool) {
-	class := st.Game().ClassOf(player)
+func (o *MultiNetworkOracle) BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool) {
+	class := v.Game().ClassOf(player)
 	if class >= len(o.oracles) {
 		return Improvement{}, false
 	}
-	return o.oracles[class].BestResponse(st, player, minGain)
+	return o.oracles[class].BestResponse(v, player, minGain)
 }
 
 // NetworkOracle computes best responses with Dijkstra on the underlying
@@ -304,20 +304,19 @@ func NewNetworkOracle(net graph.Network) *NetworkOracle {
 }
 
 // BestResponse implements Oracle.
-func (o *NetworkOracle) BestResponse(st *game.State, player int, minGain float64) (Improvement, bool) {
-	g := st.Game()
-	from := st.Assign(player)
-	lp := st.StrategyLatency(from)
+func (o *NetworkOracle) BestResponse(v game.Snapshot, player int, minGain float64) (Improvement, bool) {
+	g := v.Game()
+	from := v.Assign(player)
+	lp := v.StrategyLatency(from)
 	onPath := make(map[int]bool, 8)
 	for _, e := range g.StrategyView(from) {
 		onPath[int(e)] = true
 	}
 	path, dist, err := o.net.G.ShortestPath(o.net.S, o.net.T, func(id int) float64 {
-		delta := int64(1)
 		if onPath[id] {
-			delta = 0
+			return v.ResourceLatency(id)
 		}
-		return g.Resource(id).Latency.Value(float64(st.Load(id) + delta))
+		return v.ResourceJoinLatency(id)
 	})
 	if err != nil {
 		return Improvement{}, false

@@ -1,0 +1,271 @@
+package game
+
+// Snapshot is the read-only latency interface over a state that all
+// latency consumers (protocols, stop conditions, equilibrium predicates,
+// best-response oracles, sequential baselines) are written against. Two
+// implementations exist:
+//
+//   - *State evaluates every query directly through the latency functions.
+//     It is the reference implementation: always correct, never stale.
+//   - *RoundView answers the same queries from per-round tables computed
+//     once in O(m + Σ|P|), turning strategy-latency queries into O(1)
+//     lookups and switch-latency queries into lookup sums with a
+//     shared-resource correction — no latency-function dispatch at all.
+//
+// Both implementations return bit-identical values for every method: the
+// cached tables hold exactly the values the direct implementation would
+// compute, and all sums accumulate in the same order.
+type Snapshot interface {
+	// Game returns the underlying game.
+	Game() *Game
+	// Assign returns the strategy of the given player.
+	Assign(p int) int
+	// Count returns the number of players on the given strategy.
+	Count(s int) int64
+	// Load returns the congestion x_e of the given resource.
+	Load(e int) int64
+	// Support returns the occupied strategies in ascending order.
+	Support() []int
+	// ResourceLatency returns ℓ_e(x_e).
+	ResourceLatency(e int) float64
+	// ResourceJoinLatency returns ℓ_e(x_e + 1).
+	ResourceJoinLatency(e int) float64
+	// StrategyLatency returns ℓ_P(x) = Σ_{e∈P} ℓ_e(x_e).
+	StrategyLatency(s int) float64
+	// JoinLatency returns ℓ⁺_P(x) = ℓ_P(x + 1_P).
+	JoinLatency(s int) float64
+	// SwitchLatency returns ℓ_to(x + 1_to − 1_from).
+	SwitchLatency(from, to int) float64
+	// SwitchLatencyTo returns ℓ_Q(x + 1_Q − 1_from) for an arbitrary
+	// resource set Q.
+	SwitchLatencyTo(from int, resources []int) float64
+	// Gain returns ℓ_from(x) − ℓ_to(x + 1_to − 1_from).
+	Gain(from, to int) float64
+	// PlayerLatency returns the latency of the given player's strategy.
+	PlayerLatency(p int) float64
+	// AvgLatency returns L_av(x).
+	AvgLatency() float64
+	// AvgJoinLatency returns L⁺_av(x).
+	AvgJoinLatency() float64
+}
+
+var (
+	_ Snapshot = (*State)(nil)
+	_ Snapshot = (*RoundView)(nil)
+)
+
+// RoundView is an immutable per-round latency snapshot of a State. The
+// simulation engine builds one view per round (the round-start state the
+// paper's protocols evaluate their migration decisions against) and hands
+// it to all decision goroutines; sequential dynamics rebuild one per step.
+//
+// The view caches
+//
+//	lat[e]      = ℓ_e(x_e)          latPlus[e] = ℓ_e(x_e + 1)
+//	stratLat[s] = Σ_{e∈s} lat[e]    joinLat[s] = Σ_{e∈s} latPlus[e]
+//
+// so StrategyLatency and JoinLatency are O(1) and SwitchLatency reduces to
+// a merge over the two sorted resource lists picking lat[e] for shared
+// resources (where +1 and −1 cancel) and latPlus[e] otherwise.
+//
+// A view is valid until the underlying state or game mutates (Move,
+// RegisterStrategy); after that it must be Reset before further use. It is
+// safe for concurrent readers.
+type RoundView struct {
+	st *State
+	g  *Game
+
+	lat      []float64 // resource -> ℓ_e(x_e)
+	latPlus  []float64 // resource -> ℓ_e(x_e + 1)
+	stratLat []float64 // strategy -> Σ lat[e]
+	joinLat  []float64 // strategy -> Σ latPlus[e]
+}
+
+// NewRoundView allocates a view and fills it from the given state.
+func NewRoundView(st *State) *RoundView {
+	return new(RoundView).Reset(st)
+}
+
+// Reset refills the view from the state's current loads, reusing the
+// backing arrays. It costs O(m) latency evaluations plus O(Σ|P|) additions
+// and returns the view for chaining.
+func (v *RoundView) Reset(st *State) *RoundView {
+	g := st.g
+	v.st, v.g = st, g
+	m := len(g.resources)
+	v.lat = growFloats(v.lat, m)
+	v.latPlus = growFloats(v.latPlus, m)
+	for e := 0; e < m; e++ {
+		f := g.resources[e].Latency
+		x := float64(st.load[e])
+		v.lat[e] = f.Value(x)
+		v.latPlus[e] = f.Value(x + 1)
+	}
+	k := len(g.strategies)
+	v.stratLat = growFloats(v.stratLat, k)
+	v.joinLat = growFloats(v.joinLat, k)
+	for s, res := range g.strategies {
+		sum, sumPlus := 0.0, 0.0
+		for _, e := range res {
+			sum += v.lat[e]
+			sumPlus += v.latPlus[e]
+		}
+		v.stratLat[s] = sum
+		v.joinLat[s] = sumPlus
+	}
+	return v
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// State returns the state the view was built from. The state must be
+// treated as read-only while the view is in use.
+func (v *RoundView) State() *State { return v.st }
+
+// Game returns the underlying game.
+func (v *RoundView) Game() *Game { return v.g }
+
+// Assign returns the strategy of the given player.
+func (v *RoundView) Assign(p int) int { return int(v.st.assign[p]) }
+
+// Count returns the number of players on the given strategy.
+func (v *RoundView) Count(s int) int64 { return v.st.Count(s) }
+
+// Load returns the congestion x_e of the given resource.
+func (v *RoundView) Load(e int) int64 { return v.st.load[e] }
+
+// Support returns the occupied strategies in ascending order.
+func (v *RoundView) Support() []int { return v.st.Support() }
+
+// ResourceLatency returns the cached ℓ_e(x_e).
+func (v *RoundView) ResourceLatency(e int) float64 { return v.lat[e] }
+
+// ResourceJoinLatency returns the cached ℓ_e(x_e + 1).
+func (v *RoundView) ResourceJoinLatency(e int) float64 { return v.latPlus[e] }
+
+// StrategyLatency returns ℓ_P(x) as an O(1) lookup. Strategies registered
+// after the last Reset fall back to summing the per-resource table, which
+// is still dispatch-free and exact as long as the state is unchanged.
+func (v *RoundView) StrategyLatency(s int) float64 {
+	if s < len(v.stratLat) {
+		return v.stratLat[s]
+	}
+	sum := 0.0
+	for _, e := range v.g.strategies[s] {
+		sum += v.lat[e]
+	}
+	return sum
+}
+
+// JoinLatency returns ℓ⁺_P(x) as an O(1) lookup (same fallback rule as
+// StrategyLatency).
+func (v *RoundView) JoinLatency(s int) float64 {
+	if s < len(v.joinLat) {
+		return v.joinLat[s]
+	}
+	sum := 0.0
+	for _, e := range v.g.strategies[s] {
+		sum += v.latPlus[e]
+	}
+	return sum
+}
+
+// SwitchLatency returns ℓ_to(x + 1_to − 1_from): a merge over the two
+// sorted resource lists taking lat[e] on shared resources (the +1 and −1
+// cancel) and latPlus[e] elsewhere.
+func (v *RoundView) SwitchLatency(from, to int) float64 {
+	if from == to {
+		return v.StrategyLatency(to)
+	}
+	fromRes := v.g.strategies[from]
+	toRes := v.g.strategies[to]
+	sum := 0.0
+	i := 0
+	for _, e := range toRes {
+		for i < len(fromRes) && fromRes[i] < e {
+			i++
+		}
+		if i < len(fromRes) && fromRes[i] == e {
+			sum += v.lat[e]
+		} else {
+			sum += v.latPlus[e]
+		}
+	}
+	return sum
+}
+
+// SwitchLatencyTo returns ℓ_Q(x + 1_Q − 1_from) for an arbitrary resource
+// set Q (need not be registered or sorted), via binary-search membership
+// tests against the player's current strategy.
+func (v *RoundView) SwitchLatencyTo(from int, resources []int) float64 {
+	fromRes := v.g.strategies[from]
+	sum := 0.0
+	for _, e := range resources {
+		lo, hi := 0, len(fromRes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if fromRes[mid] < int32(e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(fromRes) && fromRes[lo] == int32(e) {
+			sum += v.lat[e]
+		} else {
+			sum += v.latPlus[e]
+		}
+	}
+	return sum
+}
+
+// Gain returns ℓ_from(x) − ℓ_to(x + 1_to − 1_from).
+func (v *RoundView) Gain(from, to int) float64 {
+	return v.StrategyLatency(from) - v.SwitchLatency(from, to)
+}
+
+// PlayerLatency returns the latency of the given player's strategy.
+func (v *RoundView) PlayerLatency(p int) float64 {
+	return v.StrategyLatency(int(v.st.assign[p]))
+}
+
+// AvgLatency returns L_av(x) = Σ_e x_e·ℓ_e(x_e)/n from the cached table.
+func (v *RoundView) AvgLatency() float64 {
+	sum := 0.0
+	for e, x := range v.st.load {
+		if x > 0 {
+			sum += float64(x) * v.lat[e]
+		}
+	}
+	return sum / float64(v.g.n)
+}
+
+// AvgJoinLatency returns L⁺_av(x) = Σ_P (x_P/n)·ℓ_P(x+1_P) from the cached
+// per-strategy table.
+func (v *RoundView) AvgJoinLatency() float64 {
+	sum := 0.0
+	for s, c := range v.st.counts {
+		if c > 0 {
+			sum += float64(c) * v.JoinLatency(s)
+		}
+	}
+	return sum / float64(v.g.n)
+}
+
+// Makespan returns the maximum latency over occupied strategies.
+func (v *RoundView) Makespan() float64 {
+	best := 0.0
+	for s, c := range v.st.counts {
+		if c > 0 {
+			if l := v.StrategyLatency(s); l > best {
+				best = l
+			}
+		}
+	}
+	return best
+}

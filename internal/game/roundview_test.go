@@ -1,0 +1,172 @@
+package game_test
+
+// Differential tests: every RoundView lookup must agree bit-for-bit with
+// the direct game.State computation (the reference implementation) across
+// randomized instance families from internal/workload.
+
+import (
+	"math/rand"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+// instances builds a mix of singleton, polynomial-singleton, network, and
+// multi-commodity games with randomized initial assignments.
+func instances(t *testing.T, seed uint64) []*workload.Instance {
+	t.Helper()
+	build := func(inst *workload.Instance, err error) *workload.Instance {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	return []*workload.Instance{
+		build(workload.UniformSingletons(7, 100, prng.New(seed))),
+		build(workload.LinearSingletons(12, 300, 4, prng.New(seed+1))),
+		build(workload.MonomialSingletons(9, 200, 3, 5, prng.New(seed+2))),
+		build(workload.PolyNetwork(3, 3, 150, 2, 6, prng.New(seed+3))),
+		build(workload.TwoCommodity(3, 120, 4, prng.New(seed+4))),
+	}
+}
+
+// assertViewMatchesState compares every Snapshot query on the view against
+// the state with exact float equality.
+func assertViewMatchesState(t *testing.T, st *game.State, v *game.RoundView, rng *rand.Rand) {
+	t.Helper()
+	g := st.Game()
+	m := g.NumResources()
+	k := g.NumStrategies()
+	for e := 0; e < m; e++ {
+		if got, want := v.ResourceLatency(e), st.ResourceLatency(e); got != want {
+			t.Fatalf("ResourceLatency(%d) = %v, state %v", e, got, want)
+		}
+		if got, want := v.ResourceJoinLatency(e), st.ResourceJoinLatency(e); got != want {
+			t.Fatalf("ResourceJoinLatency(%d) = %v, state %v", e, got, want)
+		}
+	}
+	for s := 0; s < k; s++ {
+		if got, want := v.StrategyLatency(s), st.StrategyLatency(s); got != want {
+			t.Fatalf("StrategyLatency(%d) = %v, state %v", s, got, want)
+		}
+		if got, want := v.JoinLatency(s), st.JoinLatency(s); got != want {
+			t.Fatalf("JoinLatency(%d) = %v, state %v", s, got, want)
+		}
+	}
+	for from := 0; from < k; from++ {
+		for to := 0; to < k; to++ {
+			if got, want := v.SwitchLatency(from, to), st.SwitchLatency(from, to); got != want {
+				t.Fatalf("SwitchLatency(%d,%d) = %v, state %v", from, to, got, want)
+			}
+			if got, want := v.Gain(from, to), st.Gain(from, to); got != want {
+				t.Fatalf("Gain(%d,%d) = %v, state %v", from, to, got, want)
+			}
+		}
+	}
+	// Random (possibly unregistered) resource sets for SwitchLatencyTo.
+	for trial := 0; trial < 20; trial++ {
+		from := rng.Intn(k)
+		size := 1 + rng.Intn(m)
+		perm := rng.Perm(m)[:size]
+		if got, want := v.SwitchLatencyTo(from, perm), st.SwitchLatencyTo(from, perm); got != want {
+			t.Fatalf("SwitchLatencyTo(%d,%v) = %v, state %v", from, perm, got, want)
+		}
+	}
+	for p := 0; p < g.NumPlayers(); p += 1 + g.NumPlayers()/17 {
+		if got, want := v.PlayerLatency(p), st.PlayerLatency(p); got != want {
+			t.Fatalf("PlayerLatency(%d) = %v, state %v", p, got, want)
+		}
+		if got, want := v.Assign(p), st.Assign(p); got != want {
+			t.Fatalf("Assign(%d) = %d, state %d", p, got, want)
+		}
+	}
+	if got, want := v.AvgLatency(), st.AvgLatency(); got != want {
+		t.Fatalf("AvgLatency = %v, state %v", got, want)
+	}
+	if got, want := v.AvgJoinLatency(), st.AvgJoinLatency(); got != want {
+		t.Fatalf("AvgJoinLatency = %v, state %v", got, want)
+	}
+	if got, want := v.Makespan(), st.Makespan(); got != want {
+		t.Fatalf("Makespan = %v, state %v", got, want)
+	}
+}
+
+func TestRoundViewMatchesStateAcrossWorkloads(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 1234} {
+		for _, inst := range instances(t, seed) {
+			st := inst.State
+			rng := prng.New(seed * 7)
+			view := game.NewRoundView(st)
+			assertViewMatchesState(t, st, view, rng)
+
+			// Mutate the state with random moves and check that Reset
+			// re-synchronizes the cached tables.
+			k := st.Game().NumStrategies()
+			for i := 0; i < 50; i++ {
+				st.Move(rng.Intn(st.Game().NumPlayers()), rng.Intn(k))
+			}
+			view.Reset(st)
+			assertViewMatchesState(t, st, view, rng)
+		}
+	}
+}
+
+func TestRoundViewLateRegisteredStrategyFallback(t *testing.T) {
+	// Strategies registered after the view was built must still answer
+	// exactly (dispatch-free fallback over the per-resource tables).
+	inst, err := workload.PolyNetwork(3, 3, 80, 2, 2, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inst.State
+	g := st.Game()
+	view := game.NewRoundView(st)
+
+	// Register a fresh path-like strategy: the union of two existing ones.
+	a := g.Strategy(0)
+	b := g.Strategy(g.NumStrategies() - 1)
+	seen := map[int]bool{}
+	var union []int
+	for _, e := range append(append([]int{}, a...), b...) {
+		if !seen[e] {
+			seen[e] = true
+			union = append(union, e)
+		}
+	}
+	id, isNew, err := g.RegisterStrategy(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isNew {
+		t.Skip("union strategy already registered; nothing to test")
+	}
+	st.EnsureStrategies()
+
+	if got, want := view.StrategyLatency(id), st.StrategyLatency(id); got != want {
+		t.Errorf("late StrategyLatency = %v, state %v", got, want)
+	}
+	if got, want := view.JoinLatency(id), st.JoinLatency(id); got != want {
+		t.Errorf("late JoinLatency = %v, state %v", got, want)
+	}
+	if got, want := view.SwitchLatency(0, id), st.SwitchLatency(0, id); got != want {
+		t.Errorf("late SwitchLatency = %v, state %v", got, want)
+	}
+}
+
+func TestRoundViewSnapshotInterface(t *testing.T) {
+	// Both implementations must satisfy game.Snapshot (compile-time checked
+	// in the package too; this keeps the contract visible in tests).
+	inst, err := workload.UniformSingletons(3, 12, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []game.Snapshot = []game.Snapshot{inst.State, game.NewRoundView(inst.State)}
+	for _, s := range snaps {
+		if s.Game() != inst.Game {
+			t.Error("snapshot bound to wrong game")
+		}
+	}
+}

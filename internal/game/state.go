@@ -95,6 +95,12 @@ func (st *State) ResourceLatency(e int) float64 {
 	return st.g.resources[e].Latency.Value(float64(st.load[e]))
 }
 
+// ResourceJoinLatency returns ℓ_e(x_e + 1): the latency of the resource if
+// one additional player joined it.
+func (st *State) ResourceJoinLatency(e int) float64 {
+	return st.g.resources[e].Latency.Value(float64(st.load[e] + 1))
+}
+
 // StrategyLatency returns ℓ_P(x) = Σ_{e∈P} ℓ_e(x_e) for the given strategy
 // at the current state.
 func (st *State) StrategyLatency(s int) float64 {

@@ -540,7 +540,7 @@ func runE7(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			res := e.Run(cfg.pick(500000, 100000), func(_ *game.State, r core.RoundStats) bool {
+			res := e.Run(cfg.pick(500000, 100000), func(_ game.Snapshot, r core.RoundStats) bool {
 				return r.Movers > 0
 			})
 			rounds = append(rounds, float64(res.Rounds))

@@ -284,12 +284,19 @@ func NewProtocol(g *Game, lambda, nu float64) (*Protocol, error) {
 }
 
 // Engine runs concurrent rounds of the weighted protocol with the same
-// deterministic-parallelism contract as core.Engine.
+// deterministic-parallelism contract as core.Engine. Like core.Engine it
+// snapshots per-round latency values: every link's current latency
+// ℓ_e(W_e) is evaluated once per round instead of once per player. (The
+// anticipated latency after a switch still needs a live evaluation because
+// it depends on the moving player's own weight.)
 type Engine struct {
-	st    *State
-	proto *Protocol
-	seed  uint64
-	round int
+	st      *State
+	proto   *Protocol
+	seed    uint64
+	round   int
+	linkLat []float64 // per-round cache of ℓ_e(W_e)
+	targets []int32   // reusable decision buffer
+	stream  *prng.Reusable
 }
 
 // NewEngine wires a state and protocol.
@@ -306,28 +313,41 @@ func (e *Engine) State() *State { return e.st }
 // Step executes one concurrent round and returns the number of migrations.
 func (e *Engine) Step() int {
 	n := e.st.g.NumPlayers()
-	decisions := make([]int32, n)
-	stream := prng.NewReusable()
+	m := e.st.g.NumLinks()
+	if cap(e.linkLat) < m {
+		e.linkLat = make([]float64, m)
+	}
+	e.linkLat = e.linkLat[:m]
+	for l := 0; l < m; l++ {
+		e.linkLat[l] = e.st.g.fns[l].Value(e.st.load[l])
+	}
+	if cap(e.targets) < n {
+		e.targets = make([]int32, n)
+	}
+	e.targets = e.targets[:n]
+	if e.stream == nil {
+		e.stream = prng.NewReusable()
+	}
 	for i := 0; i < n; i++ {
-		decisions[i] = -1
-		rng := stream.Reset3(e.seed, uint64(e.round), uint64(i))
+		e.targets[i] = -1
+		rng := e.stream.Reset3(e.seed, uint64(e.round), uint64(i))
 		q := rng.Intn(n)
 		target := int(e.st.assign[q])
 		from := int(e.st.assign[i])
 		if target == from {
 			continue
 		}
-		lp := e.st.PlayerLatency(i)
+		lp := e.linkLat[from]
 		gain := lp - e.st.SwitchLatency(i, target)
 		if gain <= e.proto.nu || lp <= 0 {
 			continue
 		}
 		if rng.Float64() < e.proto.lambda/e.st.g.d*gain/lp {
-			decisions[i] = int32(target)
+			e.targets[i] = int32(target)
 		}
 	}
 	moves := 0
-	for i, to := range decisions {
+	for i, to := range e.targets {
 		if to >= 0 && int32(to) != e.st.assign[i] {
 			e.st.Move(i, int(to))
 			moves++
