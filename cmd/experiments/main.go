@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-exp E1,E3] [-seed 1] [-quick] [-format markdown|text|csv]
+//	experiments [-exp E1,E3] [-seed 1] [-quick] [-workers 0]
+//	            [-format markdown|text|csv] [-out results/]
 //
 // With no -exp flag every experiment runs in registry order. Identical
-// seeds reproduce tables bit-for-bit.
+// seeds reproduce tables bit-for-bit — including across -workers values,
+// which only change wall-clock time (the engines' determinism contract).
+// Run with -h for the full flag reference.
 package main
 
 import (
@@ -26,11 +29,12 @@ func main() {
 
 func run() int {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E3) or 'all'")
-		seedFlag   = flag.Uint64("seed", 1, "base random seed")
-		quickFlag  = flag.Bool("quick", false, "reduced sizes and replications")
-		formatFlag = flag.String("format", "markdown", "output format: markdown, text, or csv")
-		outFlag    = flag.String("out", "", "also write one CSV file per experiment into this directory")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E3) or 'all'")
+		seedFlag    = flag.Uint64("seed", 1, "base random seed")
+		quickFlag   = flag.Bool("quick", false, "reduced sizes and replications")
+		workersFlag = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS (tables are identical for every value)")
+		formatFlag  = flag.String("format", "markdown", "output format: markdown, text, or csv")
+		outFlag     = flag.String("out", "", "also write one CSV file per experiment into this directory")
 	)
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func run() int {
 		}
 	}
 
-	cfg := sim.Config{Seed: *seedFlag, Quick: *quickFlag}
+	cfg := sim.Config{Seed: *seedFlag, Quick: *quickFlag, Workers: *workersFlag}
 	for _, e := range selected {
 		start := time.Now()
 		table, err := e.Run(cfg)

@@ -6,12 +6,18 @@
 // Usage:
 //
 //	imitsim -workload linear -n 1024 -m 20 -rounds 500 [-protocol imitation]
-//	        [-seed 1] [-lambda 0.25] [-delta 0.1] [-eps 0.1] [-csv out.csv]
+//	        [-seed 1] [-lambda 0.25] [-delta 0.1] [-eps 0.1] [-workers 0]
+//	        [-csv out.csv]
 //
 // Workloads: linear (random linear singletons), uniform (identical links),
 // monomial (a·x^d links, -degree), zero-offset (Theorem 9 scaling), twolink
 // (Section 2.3 overshoot instance), lastagent (Ω(n) instance), network
-// (layered DAG, -degree), braess.
+// (layered DAG, -degree), braess, heavy (packed affine links for
+// throughput stress).
+//
+// -workers selects the engine's worker-goroutine count (0 = GOMAXPROCS);
+// the trajectory is bit-identical for every value, so it only changes
+// wall-clock time. Run with -h for the full flag reference.
 package main
 
 import (
@@ -32,7 +38,7 @@ func main() {
 
 func run() int {
 	var (
-		workloadFlag = flag.String("workload", "linear", "workload: linear, uniform, monomial, zero-offset, twolink, lastagent, network, braess")
+		workloadFlag = flag.String("workload", "linear", "workload: linear, uniform, monomial, zero-offset, twolink, lastagent, network, braess, heavy")
 		nFlag        = flag.Int("n", 1024, "number of players")
 		mFlag        = flag.Int("m", 20, "number of links (singleton workloads)")
 		degreeFlag   = flag.Float64("degree", 2, "polynomial degree (monomial, zero-offset, twolink, network)")
@@ -43,6 +49,7 @@ func run() int {
 		deltaFlag    = flag.Float64("delta", 0.1, "δ of the (δ,ε,ν)-equilibrium stop condition")
 		epsFlag      = flag.Float64("eps", 0.1, "ε of the (δ,ε,ν)-equilibrium stop condition")
 		noNuFlag     = flag.Bool("no-nu", false, "drop the ν minimum-gain threshold")
+		workersFlag  = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS (trajectories are identical for every value)")
 		csvFlag      = flag.String("csv", "", "write the per-round trajectory to this CSV file")
 	)
 	flag.Parse()
@@ -59,7 +66,7 @@ func run() int {
 	}
 
 	rec := trace.NewRecorder()
-	engine, err := core.NewEngine(inst.State, proto, core.WithSeed(*seedFlag), core.WithObserver(rec))
+	engine, err := core.NewEngine(inst.State, proto, core.WithSeed(*seedFlag), core.WithWorkers(*workersFlag), core.WithObserver(rec))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
 		return 2
@@ -145,6 +152,8 @@ func buildWorkload(name string, n, m int, degree float64, seed uint64) (*workloa
 		return workload.PolyNetwork(4, 3, n, degree, 8, rng)
 	case "braess":
 		return workload.Braess(n)
+	case "heavy":
+		return workload.HeavyTraffic(n, m, rng)
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}

@@ -12,12 +12,38 @@
 // that reproduces every theorem-level claim (see DESIGN.md and
 // EXPERIMENTS.md).
 //
+// # Snapshot architecture
+//
 // All latency consumers run against the game.Snapshot interface: the
 // engine precomputes every resource and strategy latency once per round
 // into an immutable game.RoundView (O(m) per round), so protocol
 // decisions, stop conditions, and equilibrium checks are table lookups
 // with no latency-function dispatch on the hot path; game.State's direct
 // methods remain the bit-identical reference implementation (DESIGN.md §2).
+//
+// # Parallel rounds
+//
+// With more than one worker the engine shards the entire round: each
+// worker decides a contiguous range of players against the shared
+// RoundView and accumulates its migrations (per-resource load deltas,
+// reassignments, newly discovered strategies) into a private game.Delta;
+// game.State.ApplyDeltas then merges the shards in shard-index order —
+// registering new strategies in global first-proposer order, handing each
+// shard the exact intermediate load vector at its sequential entry point,
+// replaying the per-move potential changes in parallel with the same code
+// path State.Move uses, and folding them in player order (DESIGN.md §3).
+//
+// # Determinism contract
+//
+// Fixed (seed, protocol, initial state) implies a bit-identical
+// trajectory — every assignment, every RoundStats field, every bit of the
+// incrementally maintained Rosenthal potential — regardless of the worker
+// count, GOMAXPROCS, or goroutine scheduling. This holds because each
+// player's decision stream is derived purely from (seed, round, player)
+// via SplitMix64 (internal/prng), decisions read only the immutable
+// round-start view, and the sharded apply phase is constructed to
+// reproduce the sequential apply loop exactly (DESIGN.md §4; pinned by
+// the parity tests in internal/core and internal/game).
 //
 // Packages:
 //

@@ -55,10 +55,16 @@ type StopCondition func(v game.Snapshot, r RoundStats) bool
 
 // Engine executes a protocol for all players concurrently, round by round.
 // At the start of every round it builds one immutable game.RoundView (all
-// resource and strategy latencies, precomputed in O(m + Σ|P|)); decisions
-// are computed by a goroutine pool against that shared view, then
-// migrations are applied sequentially. Trajectories are deterministic in
-// (seed, protocol, initial state) regardless of GOMAXPROCS.
+// resource and strategy latencies, precomputed in O(m + Σ|P|)). With more
+// than one worker the whole round is sharded: each worker decides a
+// contiguous range of players against the shared view AND accumulates the
+// resulting migrations into a private game.Delta, and the shards are then
+// merged in shard-index order by game.State.ApplyDeltas (two-phase
+// strategy registration, prefix entry loads, parallel ΔΦ replay). With one
+// worker the engine runs the reference sequential decide/apply loop.
+// Either way, trajectories are bit-identical and deterministic in (seed,
+// protocol, initial state) regardless of the worker count or GOMAXPROCS —
+// see DESIGN.md §3–§4.
 type Engine struct {
 	st        *game.State
 	proto     Protocol
@@ -68,9 +74,10 @@ type Engine struct {
 	phi       float64
 	moves     int
 	observers []RoundObserver
-	decisions []Decision
+	decisions []Decision // sequential path only, allocated lazily
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
+	deltas    []*game.Delta    // one private migration buffer per worker
 }
 
 // Option configures an Engine.
@@ -81,7 +88,10 @@ func WithSeed(seed uint64) Option {
 	return func(e *Engine) { e.seed = seed }
 }
 
-// WithWorkers fixes the number of decision goroutines (default GOMAXPROCS).
+// WithWorkers fixes the number of worker goroutines per round (default
+// GOMAXPROCS). One worker selects the sequential reference path; more run
+// the sharded decide+apply round. The trajectory is bit-identical for
+// every worker count.
 func WithWorkers(workers int) Option {
 	return func(e *Engine) {
 		if workers > 0 {
@@ -105,13 +115,12 @@ func NewEngine(st *game.State, proto Protocol, opts ...Option) (*Engine, error) 
 		return nil, fmt.Errorf("%w: engine needs a state and a protocol", ErrInvalid)
 	}
 	e := &Engine{
-		st:        st,
-		proto:     proto,
-		seed:      1,
-		workers:   runtime.GOMAXPROCS(0),
-		phi:       st.Potential(),
-		decisions: make([]Decision, st.Game().NumPlayers()),
-		view:      game.NewRoundView(st),
+		st:      st,
+		proto:   proto,
+		seed:    1,
+		workers: runtime.GOMAXPROCS(0),
+		phi:     st.Potential(),
+		view:    game.NewRoundView(st),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -185,53 +194,65 @@ func (e *Engine) stream(w int) *prng.Reusable {
 	return e.streams[w]
 }
 
+// delta returns the lazily allocated migration buffer for a worker, reset
+// against the current state.
+func (e *Engine) delta(w int) *game.Delta {
+	for len(e.deltas) <= w {
+		e.deltas = append(e.deltas, game.NewDelta(e.st))
+	}
+	return e.deltas[w].Reset(e.st)
+}
+
 // Step executes one concurrent round: the round-start snapshot is built
-// once, every player decides against it in parallel, then all migrations
-// are applied.
+// once, every player decides against it in parallel, and the migrations
+// are applied — sequentially with one worker, via the sharded delta merge
+// otherwise. Both paths produce bit-identical trajectories.
 func (e *Engine) Step() RoundStats {
 	n := e.st.Game().NumPlayers()
 
-	// Decision phase: one immutable RoundView shared by all workers — the
-	// O(m) precompute replaces O(n·|S|·|P|) latency-function dispatches.
-	// Each worker reuses one stream object, re-seeded per player, so
-	// decisions are identical to fresh prng.Stream draws without
-	// per-player allocations.
+	// One immutable RoundView shared by all workers — the O(m) precompute
+	// replaces O(n·|S|·|P|) latency-function dispatches. Each worker reuses
+	// one stream object, re-seeded per player, so decisions are identical
+	// to fresh prng.Stream draws without per-player allocations.
 	view := e.view.Reset(e.st)
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
+	var movers, newStrategies int
 	if workers <= 1 {
-		stream := e.stream(0)
-		for p := 0; p < n; p++ {
-			e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
-		}
+		movers, newStrategies = e.stepSequential(view, n)
 	} else {
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int, stream *prng.Reusable) {
-				defer wg.Done()
-				for p := lo; p < hi; p++ {
-					e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
-				}
-			}(lo, hi, e.stream(w))
-		}
-		wg.Wait()
+		movers, newStrategies = e.stepSharded(view, n, workers)
 	}
+	e.moves += movers
 
-	// Apply phase: sequential; registers newly discovered strategies.
-	movers := 0
-	newStrategies := 0
+	stats := RoundStats{
+		Round:         e.round,
+		Movers:        movers,
+		NewStrategies: newStrategies,
+		Potential:     e.phi,
+		AvgLatency:    e.st.AvgLatency(),
+		MaxLatency:    e.st.Makespan(),
+	}
+	e.round++
+	for _, obs := range e.observers {
+		obs.Observe(stats)
+	}
+	return stats
+}
+
+// stepSequential is the single-worker reference round: decide every player
+// on the calling goroutine, then apply migrations in player order,
+// registering newly discovered strategies on first encounter.
+func (e *Engine) stepSequential(view *game.RoundView, n int) (movers, newStrategies int) {
+	if e.decisions == nil {
+		e.decisions = make([]Decision, n)
+	}
+	stream := e.stream(0)
+	for p := 0; p < n; p++ {
+		e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+	}
 	for p := 0; p < n; p++ {
 		d := e.decisions[p]
 		if !d.Move {
@@ -257,21 +278,49 @@ func (e *Engine) Step() RoundStats {
 		e.phi += e.st.Move(p, to)
 		movers++
 	}
-	e.moves += movers
+	return movers, newStrategies
+}
 
-	stats := RoundStats{
-		Round:         e.round,
-		Movers:        movers,
-		NewStrategies: newStrategies,
-		Potential:     e.phi,
-		AvgLatency:    e.st.AvgLatency(),
-		MaxLatency:    e.st.Makespan(),
+// stepSharded is the fully parallel round: each worker decides a
+// contiguous shard of players against the shared view and records the
+// resulting migrations into its private game.Delta in the same pass; the
+// shards are then merged in shard-index order by State.ApplyDeltas. Shard
+// boundaries never influence the trajectory (see ApplyDeltas), so any
+// worker count reproduces the sequential path bit-for-bit.
+func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newStrategies int) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	used := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		d := e.delta(used)
+		used++
+		wg.Add(1)
+		go func(lo, hi int, d *game.Delta, stream *prng.Reusable) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				dec := e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+				if !dec.Move {
+					continue
+				}
+				if dec.NewStrategy != nil {
+					d.RecordNewStrategy(p, dec.NewStrategy)
+				} else {
+					d.RecordMove(p, dec.To)
+				}
+			}
+		}(lo, hi, d, e.stream(w))
 	}
-	e.round++
-	for _, obs := range e.observers {
-		obs.Observe(stats)
-	}
-	return stats
+	wg.Wait()
+	e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:used], used)
+	return movers, newStrategies
 }
 
 // Run executes rounds until the stop condition fires or maxRounds rounds

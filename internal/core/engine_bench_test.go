@@ -7,6 +7,7 @@ package core
 // quantifies the snapshot layer's speedup.
 
 import (
+	"runtime"
 	"testing"
 
 	"congame/internal/game"
@@ -91,6 +92,47 @@ func BenchmarkEngineRoundDirectNetwork(b *testing.B) {
 		b.Run(benchN(n), func(b *testing.B) {
 			st, im := networkInstance(b, n)
 			benchStep(b, st, directImitation{im})
+		})
+	}
+}
+
+// BenchmarkEngineParallelApply measures full-round throughput (sharded
+// decide + delta-merge apply) on a heavy-traffic instance whose packed
+// initial assignment keeps per-round migration counts at Θ(n), sweeping
+// the worker count. Each iteration replays the same 4 opening rounds from
+// a fresh clone of the initial state, so every worker count does identical
+// physics. On multi-core hosts round throughput should scale near-
+// linearly; the recorded numbers live in EXPERIMENTS.md.
+func BenchmarkEngineParallelApply(b *testing.B) {
+	const n, m = 1 << 18, 256
+	inst, err := workload.HeavyTraffic(n, m, prng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			im, err := NewImitation(inst.Game, ImitationConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := inst.State.Clone()
+				e, err := NewEngine(st, im, WithSeed(1), WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for r := 0; r < 4; r++ {
+					e.Step()
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,207 @@
+package core
+
+// Worker-count invariance: the sharded round (decide shards + delta merge,
+// workers > 1) must reproduce the sequential reference round (workers = 1)
+// bit-for-bit — per-round stats including the incrementally folded
+// potential, every player's assignment, and the strategy registry
+// (including IDs assigned to strategies discovered by exploration
+// mid-run). These tests pin the determinism contract of DESIGN.md §4 for
+// workers ∈ {1, 2, 3, GOMAXPROCS}.
+
+import (
+	"runtime"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+// trajectory captures everything the parity tests compare.
+type trajectory struct {
+	stats      []RoundStats
+	assign     []int32
+	potential  float64
+	strategies [][]int
+	result     RunResult
+}
+
+// runWorkersObserved executes `rounds` rounds with the given worker count
+// on a fresh instance from mk and captures the full trajectory.
+func runWorkersObserved(t *testing.T, mk func(t *testing.T) (*game.State, Protocol), workers, rounds int, seed uint64) trajectory {
+	t.Helper()
+	st, proto := mk(t)
+	var stats []RoundStats
+	obs := observerFunc(func(r RoundStats) { stats = append(stats, r) })
+	e, err := NewEngine(st, proto, WithSeed(seed), WithWorkers(workers), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(rounds, nil)
+	tr := trajectory{stats: stats, result: res, potential: e.Potential()}
+	tr.assign = append([]int32(nil), st.AssignmentView()...)
+	for s := 0; s < st.Game().NumStrategies(); s++ {
+		tr.strategies = append(tr.strategies, st.Game().Strategy(s))
+	}
+	return tr
+}
+
+type observerFunc func(RoundStats)
+
+func (f observerFunc) Observe(r RoundStats) { f(r) }
+
+// workerCounts is the sweep the acceptance criteria require. GOMAXPROCS
+// may coincide with an earlier entry; the duplication is harmless.
+func workerCounts() []int {
+	return []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+}
+
+func assertSameTrajectory(t *testing.T, workers int, got, want trajectory) {
+	t.Helper()
+	if len(got.stats) != len(want.stats) {
+		t.Fatalf("workers=%d: %d rounds recorded, want %d", workers, len(got.stats), len(want.stats))
+	}
+	for r := range want.stats {
+		if got.stats[r] != want.stats[r] {
+			t.Fatalf("workers=%d round %d:\n got %+v\nwant %+v", workers, r, got.stats[r], want.stats[r])
+		}
+	}
+	if got.result != want.result {
+		t.Fatalf("workers=%d: RunResult\n got %+v\nwant %+v", workers, got.result, want.result)
+	}
+	if got.potential != want.potential {
+		t.Fatalf("workers=%d: potential %v, want %v (bit-exact)", workers, got.potential, want.potential)
+	}
+	for p := range want.assign {
+		if got.assign[p] != want.assign[p] {
+			t.Fatalf("workers=%d: player %d on %d, want %d", workers, p, got.assign[p], want.assign[p])
+		}
+	}
+	if len(got.strategies) != len(want.strategies) {
+		t.Fatalf("workers=%d: %d strategies, want %d", workers, len(got.strategies), len(want.strategies))
+	}
+	for s := range want.strategies {
+		if len(got.strategies[s]) != len(want.strategies[s]) {
+			t.Fatalf("workers=%d: strategy %d is %v, want %v", workers, s, got.strategies[s], want.strategies[s])
+		}
+		for i := range want.strategies[s] {
+			if got.strategies[s][i] != want.strategies[s][i] {
+				t.Fatalf("workers=%d: strategy %d is %v, want %v", workers, s, got.strategies[s], want.strategies[s])
+			}
+		}
+	}
+}
+
+func parityAcrossWorkers(t *testing.T, mk func(t *testing.T) (*game.State, Protocol), rounds int, seed uint64) trajectory {
+	t.Helper()
+	ref := runWorkersObserved(t, mk, 1, rounds, seed)
+	for _, w := range workerCounts() {
+		if w == 1 {
+			continue
+		}
+		got := runWorkersObserved(t, mk, w, rounds, seed)
+		assertSameTrajectory(t, w, got, ref)
+	}
+	return ref
+}
+
+func TestWorkerParitySingletons(t *testing.T) {
+	mk := func(t *testing.T) (*game.State, Protocol) {
+		inst, err := workload.LinearSingletons(12, 600, 4, prng.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(inst.Game, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, im
+	}
+	ref := parityAcrossWorkers(t, mk, 50, 3)
+	if ref.result.TotalMoves == 0 {
+		t.Fatal("no migrations at all — parity test exercised nothing")
+	}
+}
+
+func TestWorkerParityNetwork(t *testing.T) {
+	mk := func(t *testing.T) (*game.State, Protocol) {
+		inst, err := workload.PolyNetwork(4, 3, 400, 2, 8, prng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(inst.Game, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, im
+	}
+	ref := parityAcrossWorkers(t, mk, 40, 5)
+	if ref.result.TotalMoves == 0 {
+		t.Fatal("no migrations at all — parity test exercised nothing")
+	}
+}
+
+// eagerSampler wraps the uniform path sampler but reports an inflated
+// strategy-space size, driving the exploration damping factor to 1 so the
+// test sees many concurrent discoveries per round instead of waiting
+// O(n/|P|) rounds for the first one.
+type eagerSampler struct{ *NetworkSampler }
+
+func (e eagerSampler) StrategySpaceSize() float64 { return 1e12 }
+
+// TestWorkerParityExploration runs the EXPLORATION PROTOCOL with the full
+// path sampler, so rounds register strategies that were unknown at round
+// start — the two-phase registration path of the delta merge, including
+// the same path being discovered simultaneously from different shards.
+func TestWorkerParityExploration(t *testing.T) {
+	mk := func(t *testing.T) (*game.State, Protocol) {
+		inst, err := workload.PolyNetwork(5, 4, 300, 2, 2, prng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := NewNetworkSampler(*inst.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExploration(inst.Game, ExplorationConfig{Sampler: eagerSampler{sampler}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, ex
+	}
+	ref := parityAcrossWorkers(t, mk, 40, 21)
+	discovered := 0
+	for _, s := range ref.stats {
+		discovered += s.NewStrategies
+	}
+	if discovered == 0 {
+		t.Fatal("exploration registered no new strategies — two-phase registration untested")
+	}
+}
+
+// TestWorkerParityCombined mixes imitation and exploration decisions in
+// the same round.
+func TestWorkerParityCombined(t *testing.T) {
+	mk := func(t *testing.T) (*game.State, Protocol) {
+		inst, err := workload.PolyNetwork(3, 3, 300, 2, 3, prng.New(19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := NewNetworkSampler(*inst.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCombined(inst.Game, CombinedConfig{
+			ExploreProbability: 0.5,
+			Exploration:        ExplorationConfig{Sampler: eagerSampler{sampler}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.State, c
+	}
+	ref := parityAcrossWorkers(t, mk, 40, 29)
+	if ref.result.TotalMoves == 0 {
+		t.Fatal("no migrations at all — parity test exercised nothing")
+	}
+}

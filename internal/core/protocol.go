@@ -16,7 +16,11 @@
 // (an immutable game.RoundView holding every resource and strategy latency,
 // built once per round in O(m)) and a per-(seed, round, player) random
 // stream, so the engine evaluates them concurrently with goroutines and
-// still produces bit-identical runs for a fixed seed.
+// still produces bit-identical runs for a fixed seed. With multiple
+// workers the apply phase is concurrent too: each worker records its
+// shard's migrations into a private game.Delta and the shards are merged
+// deterministically in shard order (DESIGN.md §3) — the trajectory never
+// depends on the worker count.
 package core
 
 import (

@@ -1,0 +1,247 @@
+package game
+
+import (
+	"fmt"
+	"sync"
+)
+
+// deltaMove is one recorded migration. to holds either a registered
+// strategy ID (≥ 0) or, while the target is a strategy first discovered
+// this round, the bitwise complement ^idx of its proposal index in the
+// shard's NewStrategies list; ApplyDeltas resolves complements to real IDs
+// after the registration merge.
+type deltaMove struct {
+	player int32
+	from   int32
+	to     int32
+}
+
+// Delta is one shard's private migration buffer for the parallel apply
+// phase. Each worker of the simulation engine owns one Delta and records
+// its players' decisions into it (RecordMove, RecordNewStrategy) without
+// touching the shared State; State.ApplyDeltas then merges the buffers in
+// shard-index order.
+//
+// The buffer accumulates, all relative to the fixed round-start state it
+// was Reset against:
+//
+//   - the shard's migrations in player-index order,
+//   - the per-resource load delta those migrations induce, and
+//   - the strategies discovered this round that are not yet registered
+//     with the game, deduplicated within the shard, in first-proposer
+//     order.
+//
+// A Delta is not safe for concurrent use; the engine gives each worker its
+// own. Between Reset and ApplyDeltas the underlying state and game must
+// not mutate.
+type Delta struct {
+	st *State
+	g  *Game
+
+	moves     []deltaMove
+	loadDelta []int64   // resource -> net load change from this shard
+	newStrats [][]int32 // canonical resource lists, first-proposer order
+	newKeys   map[string]int32
+	newIDs    []int32   // filled by ApplyDeltas during registration
+	dphi      []float64 // per-move ΔΦ, filled by replay
+	entry     []int64   // scratch: loads at this shard's sequential entry point
+}
+
+// NewDelta returns a Delta bound to the given round-start state.
+func NewDelta(st *State) *Delta {
+	return new(Delta).Reset(st)
+}
+
+// Reset clears the buffer and rebinds it to the given round-start state,
+// reusing all backing storage.
+func (d *Delta) Reset(st *State) *Delta {
+	d.st, d.g = st, st.g
+	d.moves = d.moves[:0]
+	d.newStrats = d.newStrats[:0]
+	if d.newKeys == nil {
+		d.newKeys = make(map[string]int32)
+	} else {
+		clear(d.newKeys)
+	}
+	m := len(d.g.resources)
+	d.loadDelta = grow(d.loadDelta, m)
+	for e := range d.loadDelta {
+		d.loadDelta[e] = 0
+	}
+	return d
+}
+
+// Moves returns the number of migrations recorded so far.
+func (d *Delta) Moves() int { return len(d.moves) }
+
+// RecordMove records that player p migrates to the registered strategy
+// `to`. Recording the player's current strategy is a no-op, mirroring the
+// sequential apply loop's skip.
+func (d *Delta) RecordMove(p, to int) {
+	from := d.st.assign[p]
+	if int(from) == to {
+		return
+	}
+	d.moves = append(d.moves, deltaMove{player: int32(p), from: from, to: int32(to)})
+	d.bumpLoads(from, d.g.strategies[to])
+}
+
+// RecordNewStrategy records that player p migrates to a freshly sampled
+// resource set that was not registered when the round's decisions were
+// computed. The set is canonicalized and deduplicated within the shard;
+// registration itself is deferred to ApplyDeltas so strategy IDs are
+// assigned in global first-proposer order regardless of the worker count.
+// If the set turns out to be registered already (possible only for
+// protocols that skip the decide-time lookup), it degrades to RecordMove.
+// Samplers produce valid strategies by construction, so an invalid set is
+// a programming bug and panics.
+func (d *Delta) RecordNewStrategy(p int, resources []int) {
+	s, err := d.g.canonicalStrategy(resources)
+	if err != nil {
+		panic(fmt.Sprintf("game: sampled strategy failed to canonicalize: %v", err))
+	}
+	key := strategyKey(s)
+	// The registry is frozen during the record phase (registration happens
+	// only inside ApplyDeltas), so this concurrent read is safe.
+	if id, ok := d.g.stratKeys[key]; ok {
+		d.RecordMove(p, id)
+		return
+	}
+	idx, ok := d.newKeys[key]
+	if !ok {
+		idx = int32(len(d.newStrats))
+		d.newStrats = append(d.newStrats, s)
+		d.newKeys[key] = idx
+	}
+	from := d.st.assign[p]
+	d.moves = append(d.moves, deltaMove{player: int32(p), from: from, to: ^idx})
+	d.bumpLoads(from, s)
+}
+
+// bumpLoads applies one migration's ±1 load changes to the shard delta.
+func (d *Delta) bumpLoads(from int32, toRes []int32) {
+	for _, e := range d.g.strategies[from] {
+		d.loadDelta[e]--
+	}
+	for _, e := range toRes {
+		d.loadDelta[e]++
+	}
+}
+
+// replay computes each recorded move's exact ΔΦ by replaying the shard's
+// migrations in player order against d.entry — the load vector the
+// sequential apply loop would see when reaching this shard's first player.
+// It resolves pending new-strategy targets (newIDs must be filled) and
+// uses the same moveDelta helper as State.Move, so every ΔΦ is bit-
+// identical to the one the sequential loop would have produced.
+func (d *Delta) replay() {
+	d.dphi = grow(d.dphi, len(d.moves))
+	for i := range d.moves {
+		mv := &d.moves[i]
+		if mv.to < 0 {
+			mv.to = d.newIDs[^mv.to]
+		}
+		d.dphi[i] = moveDelta(d.g, d.entry, int(mv.from), int(mv.to))
+	}
+}
+
+// ApplyDeltas merges per-shard migration buffers into the state and
+// returns the updated running potential along with the migration and
+// newly-registered-strategy counts. It is the batch counterpart of calling
+// Move player by player: given the shards partition the players into
+// consecutive index ranges in shard order (as the engine's contiguous
+// sharding does), the result — assignment, counts, loads, and every bit of
+// the potential — is identical to the sequential loop for ANY number of
+// shards and workers. That holds because:
+//
+//  1. newly discovered strategies are registered sequentially in shard
+//     order and, within a shard, in first-proposer order — i.e. in global
+//     first-proposer order, the order the sequential loop registers them;
+//  2. each shard's entry loads are the exact intermediate load vector the
+//     sequential loop would exhibit at the shard boundary (round-start
+//     loads plus the preceding shards' integer load deltas);
+//  3. each shard replays its moves against those entry loads with the same
+//     moveDelta code path State.Move uses, reproducing every ΔΦ bit-for-
+//     bit (this is the parallel part — shards replay independently); and
+//  4. the per-move ΔΦ values are folded into phi one by one in shard ×
+//     player order, matching the sequential loop's float accumulation
+//     order exactly (phi is taken and returned rather than a lump ΔΦ so
+//     the caller cannot accidentally change that fold order).
+//
+// workers bounds the number of goroutines used for step 3; values ≤ 1 run
+// the replay on the calling goroutine.
+func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi float64, movers, newStrategies int) {
+	if len(deltas) == 0 {
+		return phi, 0, 0
+	}
+	g := st.g
+
+	// 1. Registration merge: assign IDs in global first-proposer order.
+	for _, d := range deltas {
+		d.newIDs = d.newIDs[:0]
+		for _, s := range d.newStrats {
+			id, isNew := g.registerCanonical(s)
+			d.newIDs = append(d.newIDs, int32(id))
+			if isNew {
+				newStrategies++
+			}
+		}
+	}
+	if newStrategies > 0 {
+		st.EnsureStrategies()
+	}
+
+	// 2. Entry loads: the exact sequential load vector at each shard
+	// boundary, by prefix-summing the integer shard deltas.
+	m := len(g.resources)
+	for i, d := range deltas {
+		d.entry = grow(d.entry, m)
+		if i == 0 {
+			copy(d.entry, st.load)
+		} else {
+			prev := deltas[i-1]
+			for e := 0; e < m; e++ {
+				d.entry[e] = prev.entry[e] + prev.loadDelta[e]
+			}
+		}
+	}
+
+	// 3. Parallel ΔΦ replay: shards are independent given their entry loads.
+	if workers > len(deltas) {
+		workers = len(deltas)
+	}
+	if workers <= 1 {
+		for _, d := range deltas {
+			d.replay()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, d := range deltas {
+			wg.Add(1)
+			go func(d *Delta) {
+				defer wg.Done()
+				d.replay()
+			}(d)
+		}
+		wg.Wait()
+	}
+
+	// 4. Commit: fold ΔΦ in shard × player order (the sequential order) and
+	// apply the integer bookkeeping, which is order-independent.
+	for _, d := range deltas {
+		for i := range d.moves {
+			mv := &d.moves[i]
+			phi += d.dphi[i]
+			st.assign[mv.player] = mv.to
+			st.counts[mv.from]--
+			st.counts[mv.to]++
+		}
+		movers += len(d.moves)
+		for e, dl := range d.loadDelta {
+			if dl != 0 {
+				st.load[e] += dl
+			}
+		}
+	}
+	return phi, movers, newStrategies
+}

@@ -1,0 +1,280 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"congame/internal/prng"
+)
+
+// applySequential is the reference: replay (player, to) moves through Move
+// in order, registering raw resource sets on first encounter exactly like
+// the engine's sequential apply loop, and fold the potential.
+func applySequential(t *testing.T, st *State, phi float64, moves []seqMove) (float64, int, int) {
+	t.Helper()
+	movers, newStrategies := 0, 0
+	for _, mv := range moves {
+		to := mv.to
+		if mv.newStrategy != nil {
+			id, isNew, err := st.Game().RegisterStrategy(mv.newStrategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if isNew {
+				newStrategies++
+				st.EnsureStrategies()
+			}
+			to = id
+		}
+		if to == st.Assign(mv.player) {
+			continue
+		}
+		phi += st.Move(mv.player, to)
+		movers++
+	}
+	return phi, movers, newStrategies
+}
+
+type seqMove struct {
+	player      int
+	to          int
+	newStrategy []int
+}
+
+// record feeds the same move list into per-shard Deltas split at the given
+// boundaries (players are pre-sorted by index, so contiguous slices of the
+// move list are contiguous player ranges).
+func record(st *State, moves []seqMove, bounds []int) []*Delta {
+	deltas := make([]*Delta, 0, len(bounds)+1)
+	lo := 0
+	for _, hi := range append(bounds, len(moves)) {
+		d := NewDelta(st)
+		for _, mv := range moves[lo:hi] {
+			if mv.newStrategy != nil {
+				d.RecordNewStrategy(mv.player, mv.newStrategy)
+			} else {
+				d.RecordMove(mv.player, mv.to)
+			}
+		}
+		deltas = append(deltas, d)
+		lo = hi
+	}
+	return deltas
+}
+
+// compareStates asserts both states are field-by-field identical.
+func compareStates(t *testing.T, got, want *State) {
+	t.Helper()
+	for p := range want.assign {
+		if got.assign[p] != want.assign[p] {
+			t.Fatalf("player %d: assign %d, want %d", p, got.assign[p], want.assign[p])
+		}
+	}
+	for s := range want.counts {
+		if got.Count(s) != want.counts[s] {
+			t.Fatalf("strategy %d: count %d, want %d", s, got.Count(s), want.counts[s])
+		}
+	}
+	for e := range want.load {
+		if got.load[e] != want.load[e] {
+			t.Fatalf("resource %d: load %d, want %d", e, got.load[e], want.load[e])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomMoves draws a player-ordered move list over registered strategies.
+func randomMoves(st *State, rng *rand.Rand, prob float64) []seqMove {
+	var moves []seqMove
+	for p := 0; p < st.Game().NumPlayers(); p++ {
+		if rng.Float64() < prob {
+			moves = append(moves, seqMove{player: p, to: rng.Intn(st.Game().NumStrategies())})
+		}
+	}
+	return moves
+}
+
+func TestApplyDeltasMatchesSequentialMoves(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5} {
+		g := singletonGame(t, 60, 1, 1.5, 2, 2.5, 3)
+		stSeq, err := NewRandomState(g, prng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stPar := stSeq.Clone()
+		rng := prng.New(7)
+		phiSeq, phiPar := stSeq.Potential(), stPar.Potential()
+		// Several rounds so intermediate loads wander.
+		for round := 0; round < 5; round++ {
+			moves := randomMoves(stSeq, rng, 0.4)
+			var bounds []int
+			for w := 1; w < workers; w++ {
+				bounds = append(bounds, w*len(moves)/workers)
+			}
+			deltas := record(stPar, moves, bounds)
+			wantPhi, wantMovers, _ := applySequential(t, stSeq, phiSeq, moves)
+			var movers int
+			phiPar, movers, _ = stPar.ApplyDeltas(phiPar, deltas, workers)
+			phiSeq = wantPhi
+			if phiPar != wantPhi {
+				t.Fatalf("workers=%d round %d: phi %v, want %v (bit-exact)", workers, round, phiPar, wantPhi)
+			}
+			if movers != wantMovers {
+				t.Fatalf("workers=%d round %d: movers %d, want %d", workers, round, movers, wantMovers)
+			}
+			compareStates(t, stPar, stSeq)
+		}
+	}
+}
+
+// TestApplyDeltasMultiResource exercises overlapping multi-resource
+// strategies, where SwitchLatency's shared-resource correction and the
+// intermediate-load bookkeeping both matter.
+func TestApplyDeltasMultiResource(t *testing.T) {
+	mk := func() *State {
+		resources := make([]Resource, 6)
+		for i := range resources {
+			resources[i] = Resource{Latency: mustMonomial(t, float64(i+1), 2)}
+		}
+		g, err := New(Config{
+			Resources: resources,
+			Players:   40,
+			Strategies: [][]int{
+				{0, 1, 2}, {1, 2, 3}, {3, 4, 5}, {0, 5}, {2, 4},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewRandomState(g, prng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	stSeq, stPar := mk(), mk()
+	rng := prng.New(31)
+	phiSeq, phiPar := stSeq.Potential(), stPar.Potential()
+	for round := 0; round < 8; round++ {
+		moves := randomMoves(stSeq, rng, 0.5)
+		deltas := record(stPar, moves, []int{len(moves) / 3, 2 * len(moves) / 3})
+		var movers int
+		phiSeq, movers, _ = applySequential(t, stSeq, phiSeq, moves)
+		var gotMovers int
+		phiPar, gotMovers, _ = stPar.ApplyDeltas(phiPar, deltas, 3)
+		if phiPar != phiSeq {
+			t.Fatalf("round %d: phi %v, want %v (bit-exact)", round, phiPar, phiSeq)
+		}
+		if gotMovers != movers {
+			t.Fatalf("round %d: movers %d, want %d", round, gotMovers, movers)
+		}
+		compareStates(t, stPar, stSeq)
+	}
+}
+
+// TestApplyDeltasRegistersAcrossShards checks the two-phase registration
+// path: the same unregistered strategy proposed from different shards must
+// register exactly once, IDs must be assigned in global first-proposer
+// order, and the trajectory must match the sequential loop.
+func TestApplyDeltasRegistersAcrossShards(t *testing.T) {
+	mk := func() *State {
+		resources := make([]Resource, 5)
+		for i := range resources {
+			resources[i] = Resource{Latency: mustLinear(t, float64(i+1))}
+		}
+		g, err := New(Config{
+			Resources:  resources,
+			Players:    12,
+			Strategies: [][]int{{0}, {1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewState(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	stSeq, stPar := mk(), mk()
+	// Players 1 and 7 discover {2,3} (unsorted on purpose), player 4
+	// discovers {4}, player 9 discovers {2,3} again from the last shard.
+	moves := []seqMove{
+		{player: 1, newStrategy: []int{3, 2}},
+		{player: 2, to: 1},
+		{player: 4, newStrategy: []int{4}},
+		{player: 7, newStrategy: []int{2, 3}},
+		{player: 9, newStrategy: []int{3, 2}},
+	}
+	phiSeq, phiPar := stSeq.Potential(), stPar.Potential()
+	deltas := record(stPar, moves, []int{2, 4})
+	wantPhi, wantMovers, wantNew := applySequential(t, stSeq, phiSeq, moves)
+	gotPhi, gotMovers, gotNew := stPar.ApplyDeltas(phiPar, deltas, 3)
+	if gotNew != 2 || gotNew != wantNew {
+		t.Fatalf("newStrategies = %d (sequential %d), want 2", gotNew, wantNew)
+	}
+	if gotMovers != wantMovers {
+		t.Fatalf("movers = %d, want %d", gotMovers, wantMovers)
+	}
+	if gotPhi != wantPhi {
+		t.Fatalf("phi = %v, want %v (bit-exact)", gotPhi, wantPhi)
+	}
+	if stPar.Game().NumStrategies() != stSeq.Game().NumStrategies() {
+		t.Fatalf("strategies: %d, want %d", stPar.Game().NumStrategies(), stSeq.Game().NumStrategies())
+	}
+	// ID order: {2,3} first (player 1), then {4} (player 4).
+	if id, ok := stPar.Game().LookupStrategy([]int{2, 3}); !ok || id != 2 {
+		t.Fatalf("strategy {2,3} = (%d,%v), want id 2", id, ok)
+	}
+	if id, ok := stPar.Game().LookupStrategy([]int{4}); !ok || id != 3 {
+		t.Fatalf("strategy {4} = (%d,%v), want id 3", id, ok)
+	}
+	compareStates(t, stPar, stSeq)
+}
+
+// TestDeltaRecordMoveSkipsStay mirrors the sequential loop's "already
+// there" skip.
+func TestDeltaRecordMoveSkipsStay(t *testing.T) {
+	g := singletonGame(t, 4, 1, 2)
+	st, err := NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(st)
+	d.RecordMove(0, 0)
+	if d.Moves() != 0 {
+		t.Fatalf("RecordMove to current strategy recorded %d moves, want 0", d.Moves())
+	}
+	d.RecordMove(1, 1)
+	if d.Moves() != 1 {
+		t.Fatalf("Moves = %d, want 1", d.Moves())
+	}
+}
+
+// TestDeltaRecordNewStrategyAlreadyRegistered degrades to a plain move
+// (and to a no-op when it is the player's current strategy).
+func TestDeltaRecordNewStrategyAlreadyRegistered(t *testing.T) {
+	g := singletonGame(t, 4, 1, 2)
+	st, err := NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(st)
+	d.RecordNewStrategy(0, []int{0}) // player 0 already on strategy {0}
+	if d.Moves() != 0 {
+		t.Fatalf("registered own strategy recorded %d moves, want 0", d.Moves())
+	}
+	d.RecordNewStrategy(1, []int{1})
+	phi, movers, newStrategies := st.ApplyDeltas(st.Potential(), []*Delta{d}, 1)
+	if movers != 1 || newStrategies != 0 {
+		t.Fatalf("movers=%d newStrategies=%d, want 1, 0", movers, newStrategies)
+	}
+	if want := st.Potential(); phi != want {
+		t.Fatalf("phi = %v, want recomputed potential %v", phi, want)
+	}
+	if st.Assign(1) != 1 {
+		t.Fatalf("player 1 on %d, want 1", st.Assign(1))
+	}
+}

@@ -9,6 +9,13 @@
 // strategies discovered later by exploration). Imitation dynamics never
 // need the full strategy space — which may be exponential for network
 // games — so all state is proportional to the support size.
+//
+// Mutation has three faces with one semantics: State.Move is the
+// sequential reference (one player, exact incremental ΔΦ), RoundView is
+// the immutable per-round latency snapshot decisions are computed
+// against, and Delta/State.ApplyDeltas is the batch path — per-shard
+// migration buffers merged in shard order, bit-identical to a sequence
+// of Move calls for any shard count (see DESIGN.md §2–§4).
 package game
 
 import (
@@ -184,25 +191,43 @@ func (g *Game) initClasses(classOf []int) error {
 // existing ID with isNew=false. The input is copied and canonicalized
 // (sorted); duplicate resources within the strategy are rejected.
 func (g *Game) RegisterStrategy(resources []int) (id int, isNew bool, err error) {
+	s, err := g.canonicalStrategy(resources)
+	if err != nil {
+		return 0, false, err
+	}
+	id, isNew = g.registerCanonical(s)
+	return id, isNew, nil
+}
+
+// canonicalStrategy validates a resource list and returns its canonical
+// (copied, sorted) form.
+func (g *Game) canonicalStrategy(resources []int) ([]int32, error) {
 	if len(resources) == 0 {
-		return 0, false, fmt.Errorf("%w: empty strategy", ErrInvalid)
+		return nil, fmt.Errorf("%w: empty strategy", ErrInvalid)
 	}
 	s := make([]int32, len(resources))
 	for i, r := range resources {
 		if r < 0 || r >= len(g.resources) {
-			return 0, false, fmt.Errorf("%w: strategy references resource %d, have %d resources", ErrInvalid, r, len(g.resources))
+			return nil, fmt.Errorf("%w: strategy references resource %d, have %d resources", ErrInvalid, r, len(g.resources))
 		}
 		s[i] = int32(r)
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	for i := 1; i < len(s); i++ {
 		if s[i] == s[i-1] {
-			return 0, false, fmt.Errorf("%w: strategy contains resource %d twice", ErrInvalid, s[i])
+			return nil, fmt.Errorf("%w: strategy contains resource %d twice", ErrInvalid, s[i])
 		}
 	}
+	return s, nil
+}
+
+// registerCanonical interns an already-canonical strategy. The slice is
+// retained when the strategy is new, so callers must not modify it
+// afterwards.
+func (g *Game) registerCanonical(s []int32) (id int, isNew bool) {
 	key := strategyKey(s)
 	if id, ok := g.stratKeys[key]; ok {
-		return id, false, nil
+		return id, false
 	}
 	id = len(g.strategies)
 	g.strategies = append(g.strategies, s)
@@ -212,7 +237,7 @@ func (g *Game) RegisterStrategy(resources []int) (id int, isNew bool, err error)
 		nu += latency.SlopeBound(g.resources[e].Latency, g.slopeLoad)
 	}
 	g.stratNu = append(g.stratNu, nu)
-	return id, true, nil
+	return id, true
 }
 
 func strategyKey(s []int32) string {

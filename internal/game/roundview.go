@@ -93,8 +93,8 @@ func (v *RoundView) Reset(st *State) *RoundView {
 	g := st.g
 	v.st, v.g = st, g
 	m := len(g.resources)
-	v.lat = growFloats(v.lat, m)
-	v.latPlus = growFloats(v.latPlus, m)
+	v.lat = grow(v.lat, m)
+	v.latPlus = grow(v.latPlus, m)
 	for e := 0; e < m; e++ {
 		f := g.resources[e].Latency
 		x := float64(st.load[e])
@@ -102,8 +102,8 @@ func (v *RoundView) Reset(st *State) *RoundView {
 		v.latPlus[e] = f.Value(x + 1)
 	}
 	k := len(g.strategies)
-	v.stratLat = growFloats(v.stratLat, k)
-	v.joinLat = growFloats(v.joinLat, k)
+	v.stratLat = grow(v.stratLat, k)
+	v.joinLat = grow(v.joinLat, k)
 	for s, res := range g.strategies {
 		sum, sumPlus := 0.0, 0.0
 		for _, e := range res {
@@ -116,11 +116,13 @@ func (v *RoundView) Reset(st *State) *RoundView {
 	return v
 }
 
-func growFloats(s []float64, n int) []float64 {
+// grow resizes a reusable buffer to n elements, reallocating only when
+// the capacity is insufficient. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return make([]float64, n)
+	return make([]T, n)
 }
 
 // State returns the state the view was built from. The state must be

@@ -6,12 +6,15 @@ import (
 )
 
 // State is an assignment of the n players to registered strategies, together
-// with the induced congestion vector. All mutation goes through Move so the
-// bookkeeping (per-strategy counts, per-resource loads) stays consistent.
+// with the induced congestion vector. All mutation goes through Move (one
+// player at a time) or ApplyDeltas (a whole round of per-shard migration
+// buffers) so the bookkeeping (per-strategy counts, per-resource loads)
+// stays consistent.
 //
 // A State is not safe for concurrent mutation. The simulation engine
-// snapshots what it needs, computes decisions concurrently, and applies
-// moves sequentially.
+// snapshots what it needs (RoundView), computes decisions concurrently,
+// and applies migrations either sequentially through Move or via the
+// sharded delta merge — both produce bit-identical trajectories.
 type State struct {
 	g      *Game
 	assign []int32 // player -> strategy
@@ -104,9 +107,17 @@ func (st *State) ResourceJoinLatency(e int) float64 {
 // StrategyLatency returns ℓ_P(x) = Σ_{e∈P} ℓ_e(x_e) for the given strategy
 // at the current state.
 func (st *State) StrategyLatency(s int) float64 {
+	return strategyLatencyLoads(st.g, st.load, s)
+}
+
+// strategyLatencyLoads is StrategyLatency evaluated against an explicit
+// load vector. It is shared by State and the Delta replay of the parallel
+// apply phase, so both accumulate in the same resource order and produce
+// bit-identical sums.
+func strategyLatencyLoads(g *Game, load []int64, s int) float64 {
 	sum := 0.0
-	for _, e := range st.g.strategies[s] {
-		sum += st.g.resources[e].Latency.Value(float64(st.load[e]))
+	for _, e := range g.strategies[s] {
+		sum += g.resources[e].Latency.Value(float64(load[e]))
 	}
 	return sum
 }
@@ -125,11 +136,17 @@ func (st *State) JoinLatency(s int) float64 {
 // player would experience on strategy `to` after leaving `from`, assuming
 // nobody else moves. Resources shared by both strategies keep their load.
 func (st *State) SwitchLatency(from, to int) float64 {
+	return switchLatencyLoads(st.g, st.load, from, to)
+}
+
+// switchLatencyLoads is SwitchLatency evaluated against an explicit load
+// vector (shared with the Delta replay; see strategyLatencyLoads).
+func switchLatencyLoads(g *Game, load []int64, from, to int) float64 {
 	if from == to {
-		return st.StrategyLatency(to)
+		return strategyLatencyLoads(g, load, to)
 	}
-	fromRes := st.g.strategies[from]
-	toRes := st.g.strategies[to]
+	fromRes := g.strategies[from]
+	toRes := g.strategies[to]
 	sum := 0.0
 	i := 0
 	for _, e := range toRes {
@@ -140,7 +157,7 @@ func (st *State) SwitchLatency(from, to int) float64 {
 		if i < len(fromRes) && fromRes[i] == e {
 			delta = 0 // shared resource: +1 and −1 cancel
 		}
-		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + delta))
+		sum += g.resources[e].Latency.Value(float64(load[e] + delta))
 	}
 	return sum
 }
@@ -188,15 +205,25 @@ func (st *State) Move(p, to int) float64 {
 	if from == to {
 		return 0
 	}
-	deltaPhi := st.SwitchLatency(from, to) - st.StrategyLatency(from)
+	deltaPhi := moveDelta(st.g, st.load, from, to)
 	st.assign[p] = int32(to)
 	st.counts[from]--
 	st.counts[to]++
-	for _, e := range st.g.strategies[from] {
-		st.load[e]--
+	return deltaPhi
+}
+
+// moveDelta computes Move's exact ΔΦ against the given load vector and
+// applies the ±1 load updates in place. It is the single implementation of
+// the incremental-potential contract: State.Move uses it on the live loads
+// and Delta.replay uses it on per-shard entry loads, so the parallel apply
+// phase reproduces the sequential ΔΦ values bit-for-bit.
+func moveDelta(g *Game, load []int64, from, to int) float64 {
+	deltaPhi := switchLatencyLoads(g, load, from, to) - strategyLatencyLoads(g, load, from)
+	for _, e := range g.strategies[from] {
+		load[e]--
 	}
-	for _, e := range st.g.strategies[to] {
-		st.load[e]++
+	for _, e := range g.strategies[to] {
+		load[e]++
 	}
 	return deltaPhi
 }

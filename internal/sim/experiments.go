@@ -22,6 +22,10 @@ type Config struct {
 	// Quick shrinks instance sizes and replication counts (for benchmarks
 	// and -short test runs). Shapes still hold, error bars are wider.
 	Quick bool
+	// Workers overrides the engine worker count (0 = GOMAXPROCS). Tables
+	// are bit-identical for every value — the engines' determinism
+	// contract — so this is purely a wall-clock knob.
+	Workers int
 }
 
 // Experiment is a registered, reproducible experiment.
@@ -75,9 +79,9 @@ func (cfg Config) pick(full, quick int) int {
 }
 
 // newEngine wires an instance and protocol into an engine with a derived
-// seed.
-func newEngine(inst *workload.Instance, proto core.Protocol, seed uint64) (*core.Engine, error) {
-	return core.NewEngine(inst.State, proto, core.WithSeed(seed))
+// seed and the configured worker count.
+func (cfg Config) newEngine(inst *workload.Instance, proto core.Protocol, seed uint64) (*core.Engine, error) {
+	return core.NewEngine(inst.State, proto, core.WithSeed(seed), core.WithWorkers(cfg.Workers))
 }
 
 // --- E1: super-martingale -------------------------------------------------
@@ -106,7 +110,7 @@ func runE1(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 11, uint64(rep)))
+		e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 11, uint64(rep)))
 		if err != nil {
 			return t, err
 		}
@@ -129,7 +133,7 @@ func runE1(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		eNet, err := newEngine(netInst, imNet, prng.Mix(cfg.Seed, 12, uint64(rep)))
+		eNet, err := cfg.newEngine(netInst, imNet, prng.Mix(cfg.Seed, 12, uint64(rep)))
 		if err != nil {
 			return t, err
 		}
@@ -183,7 +187,7 @@ func runE2(cfg Config) (Table, error) {
 				if err != nil {
 					return t, err
 				}
-				e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 21, uint64(rep), uint64(n), uint64(d)))
+				e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 21, uint64(rep), uint64(n), uint64(d)))
 				if err != nil {
 					return t, err
 				}
@@ -241,7 +245,7 @@ func runE3(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 31, uint64(rep), uint64(n)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 31, uint64(rep), uint64(n)))
 			if err != nil {
 				return t, err
 			}
@@ -281,7 +285,7 @@ func runE3(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 32, uint64(rep), uint64(n)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 32, uint64(rep), uint64(n)))
 			if err != nil {
 				return t, err
 			}
@@ -339,7 +343,7 @@ func runE4(cfg Config) (Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 41, key, uint64(rep)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 41, key, uint64(rep)))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -415,7 +419,7 @@ func runE5(cfg Config) (Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			e, err := newEngine(inst, proto, prng.Mix(cfg.Seed, 51, uint64(d*10), boolKey(undamped)))
+			e, err := cfg.newEngine(inst, proto, prng.Mix(cfg.Seed, 51, uint64(d*10), boolKey(undamped)))
 			if err != nil {
 				return 0, err
 			}
@@ -536,7 +540,7 @@ func runE7(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 71, uint64(rep), uint64(n)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 71, uint64(rep), uint64(n)))
 			if err != nil {
 				return t, err
 			}
@@ -587,7 +591,7 @@ func runE8(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 81, uint64(rep), uint64(n)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 81, uint64(rep), uint64(n)))
 			if err != nil {
 				return t, err
 			}
@@ -660,7 +664,7 @@ func runE9(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, im, prng.Mix(cfg.Seed, 91, uint64(rep), uint64(n)))
+			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 91, uint64(rep), uint64(n)))
 			if err != nil {
 				return t, err
 			}
@@ -738,7 +742,7 @@ func runE10(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			e, err := newEngine(inst, proto, prng.Mix(cfg.Seed, 101, uint64(ci), uint64(rep)))
+			e, err := cfg.newEngine(inst, proto, prng.Mix(cfg.Seed, 101, uint64(ci), uint64(rep)))
 			if err != nil {
 				return t, err
 			}

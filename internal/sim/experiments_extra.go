@@ -76,7 +76,7 @@ func runE11(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			engine, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 111, uint64(n), uint64(rep))))
+			engine, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 111, uint64(n), uint64(rep))), core.WithWorkers(cfg.Workers))
 			if err != nil {
 				return t, err
 			}
@@ -197,7 +197,7 @@ func runE12(cfg Config) (Table, error) {
 			if err != nil {
 				return err
 			}
-			e, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 121, uint64(rep))))
+			e, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 121, uint64(rep))), core.WithWorkers(cfg.Workers))
 			if err != nil {
 				return err
 			}
@@ -227,7 +227,7 @@ func runE12(cfg Config) (Table, error) {
 			if err != nil {
 				return err
 			}
-			e, err := core.NewEngine(inst.State, c, core.WithSeed(prng.Mix(cfg.Seed, 122, uint64(rep))))
+			e, err := core.NewEngine(inst.State, c, core.WithSeed(prng.Mix(cfg.Seed, 122, uint64(rep))), core.WithWorkers(cfg.Workers))
 			if err != nil {
 				return err
 			}
@@ -386,7 +386,7 @@ func runE13(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		e, err := core.NewEngine(inst.State, proto, core.WithSeed(prng.Mix(cfg.Seed, 131, uint64(trial))))
+		e, err := core.NewEngine(inst.State, proto, core.WithSeed(prng.Mix(cfg.Seed, 131, uint64(trial))), core.WithWorkers(cfg.Workers))
 		if err != nil {
 			return t, err
 		}
@@ -449,7 +449,7 @@ func runE14(cfg Config) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			engine, err := weighted.NewEngine(st, proto, prng.Mix(cfg.Seed, 141, uint64(wmax), uint64(rep)))
+			engine, err := weighted.NewEngine(st, proto, prng.Mix(cfg.Seed, 141, uint64(wmax), uint64(rep)), weighted.WithWorkers(cfg.Workers))
 			if err != nil {
 				return t, err
 			}

@@ -1,8 +1,9 @@
 // Package sim is the experiment harness: it defines the registry of
-// experiments E1–E10 (one per theorem-level claim of the paper, see
-// DESIGN.md §3), replication helpers, and plain-text/markdown/CSV table
-// rendering. The same registry backs cmd/experiments and the root-level
-// benchmark suite.
+// experiments E1–E14 (one per theorem-level claim of the paper, see
+// EXPERIMENTS.md), replication helpers, and plain-text/markdown/CSV
+// table rendering. The same registry backs cmd/experiments and the
+// root-level benchmark suite. Tables are deterministic in Config.Seed
+// and invariant under Config.Workers.
 package sim
 
 import (

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"congame/internal/latency"
 	"congame/internal/prng"
@@ -289,26 +291,86 @@ func NewProtocol(g *Game, lambda, nu float64) (*Protocol, error) {
 // ℓ_e(W_e) is evaluated once per round instead of once per player. (The
 // anticipated latency after a switch still needs a live evaluation because
 // it depends on the moving player's own weight.)
+//
+// With k > 1 workers (the GOMAXPROCS default; see WithWorkers) the
+// decision phase is sharded across k goroutines over contiguous player
+// ranges; every decision is a pure function of the round-start state and
+// its (seed, round, player) stream, so the trajectory is bit-identical
+// for every worker count. The apply
+// phase stays sequential in player order: link loads are float weight
+// sums, so the accumulation order is part of the determinism contract,
+// and the per-move work is O(1) anyway.
 type Engine struct {
 	st      *State
 	proto   *Protocol
 	seed    uint64
 	round   int
-	linkLat []float64 // per-round cache of ℓ_e(W_e)
-	targets []int32   // reusable decision buffer
-	stream  *prng.Reusable
+	workers int
+	linkLat []float64        // per-round cache of ℓ_e(W_e)
+	targets []int32          // reusable decision buffer
+	streams []*prng.Reusable // one reusable decision stream per worker
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers fixes the number of decision goroutines (default
+// GOMAXPROCS, like core.WithWorkers; values ≤ 0 keep the default). One
+// worker selects the sequential decision loop; the trajectory is the
+// same for every value.
+func WithWorkers(workers int) Option {
+	return func(e *Engine) {
+		if workers > 0 {
+			e.workers = workers
+		}
+	}
 }
 
 // NewEngine wires a state and protocol.
-func NewEngine(st *State, proto *Protocol, seed uint64) (*Engine, error) {
+func NewEngine(st *State, proto *Protocol, seed uint64, opts ...Option) (*Engine, error) {
 	if st == nil || proto == nil {
 		return nil, fmt.Errorf("%w: engine needs state and protocol", ErrInvalid)
 	}
-	return &Engine{st: st, proto: proto, seed: seed}, nil
+	e := &Engine{st: st, proto: proto, seed: seed, workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
 }
 
 // State returns the live state.
 func (e *Engine) State() *State { return e.st }
+
+// stream returns the lazily allocated reusable PRNG stream for a worker.
+func (e *Engine) stream(w int) *prng.Reusable {
+	for len(e.streams) <= w {
+		e.streams = append(e.streams, prng.NewReusable())
+	}
+	return e.streams[w]
+}
+
+// decideRange fills the decision buffer for players [lo, hi) against the
+// round-start state.
+func (e *Engine) decideRange(lo, hi, n int, stream *prng.Reusable) {
+	for i := lo; i < hi; i++ {
+		e.targets[i] = -1
+		rng := stream.Reset3(e.seed, uint64(e.round), uint64(i))
+		q := rng.Intn(n)
+		target := int(e.st.assign[q])
+		from := int(e.st.assign[i])
+		if target == from {
+			continue
+		}
+		lp := e.linkLat[from]
+		gain := lp - e.st.SwitchLatency(i, target)
+		if gain <= e.proto.nu || lp <= 0 {
+			continue
+		}
+		if rng.Float64() < e.proto.lambda/e.st.g.d*gain/lp {
+			e.targets[i] = int32(target)
+		}
+	}
+}
 
 // Step executes one concurrent round and returns the number of migrations.
 func (e *Engine) Step() int {
@@ -325,26 +387,31 @@ func (e *Engine) Step() int {
 		e.targets = make([]int32, n)
 	}
 	e.targets = e.targets[:n]
-	if e.stream == nil {
-		e.stream = prng.NewReusable()
+	workers := e.workers
+	if workers > n {
+		workers = n
 	}
-	for i := 0; i < n; i++ {
-		e.targets[i] = -1
-		rng := e.stream.Reset3(e.seed, uint64(e.round), uint64(i))
-		q := rng.Intn(n)
-		target := int(e.st.assign[q])
-		from := int(e.st.assign[i])
-		if target == from {
-			continue
+	if workers <= 1 {
+		e.decideRange(0, n, n, e.stream(0))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int, stream *prng.Reusable) {
+				defer wg.Done()
+				e.decideRange(lo, hi, n, stream)
+			}(lo, hi, e.stream(w))
 		}
-		lp := e.linkLat[from]
-		gain := lp - e.st.SwitchLatency(i, target)
-		if gain <= e.proto.nu || lp <= 0 {
-			continue
-		}
-		if rng.Float64() < e.proto.lambda/e.st.g.d*gain/lp {
-			e.targets[i] = int32(target)
-		}
+		wg.Wait()
 	}
 	moves := 0
 	for i, to := range e.targets {

@@ -354,3 +354,63 @@ func TestMetrics(t *testing.T) {
 		t.Error("clone aliased")
 	}
 }
+
+// TestEngineWorkerParity pins the worker-count invariance of the sharded
+// decision phase: any worker count must reproduce the sequential engine's
+// trajectory bit-for-bit (moves per round, assignments, float link loads).
+func TestEngineWorkerParity(t *testing.T) {
+	build := func(workers int) *Engine {
+		g, err := NewGame(
+			[]latency.Function{mustLinear(t, 1), mustLinear(t, 2), mustLinear(t, 3), mustLinear(t, 4)},
+			weightsRamp(64),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewRandomState(g, prng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := NewProtocol(g, 0.25, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(st, proto, 42, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref := build(1)
+	var refMoves []int
+	for r := 0; r < 60; r++ {
+		refMoves = append(refMoves, ref.Step())
+	}
+	for _, w := range []int{2, 3, 5} {
+		e := build(w)
+		for r := 0; r < 60; r++ {
+			if m := e.Step(); m != refMoves[r] {
+				t.Fatalf("workers=%d round %d: movers %d, want %d", w, r, m, refMoves[r])
+			}
+		}
+		for i := 0; i < e.State().Game().NumPlayers(); i++ {
+			if e.State().Assign(i) != ref.State().Assign(i) {
+				t.Fatalf("workers=%d: player %d diverged", w, i)
+			}
+		}
+		for l := 0; l < e.State().Game().NumLinks(); l++ {
+			if e.State().Load(l) != ref.State().Load(l) {
+				t.Fatalf("workers=%d: link %d load %v, want %v (bit-exact)", w, l, e.State().Load(l), ref.State().Load(l))
+			}
+		}
+	}
+}
+
+// weightsRamp returns n weights 1, 1.5, 2, … so jobs are heterogeneous.
+func weightsRamp(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 + float64(i)/2
+	}
+	return w
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congame/internal/eq"
+	"congame/internal/game"
+	"congame/internal/latency"
+)
+
+// HeavyTraffic builds a large-scale load-balancing stress instance sized
+// for round-throughput benchmarks up to millions of players: m affine
+// parallel links ℓ_e(x) = a_e·x + b_e with slopes a_e ∈ [1, 4] and offsets
+// b_e ∈ [0, 1], with the whole population initially packed onto the
+// max(2, m/8) lowest-index "hot" links (round-robin). The packed start
+// keeps per-round migration counts at Θ(n) for many rounds — the worst
+// case for the engine's apply phase, which is exactly what
+// BenchmarkEngineParallelApply wants to stress. Affine latencies keep the
+// elasticity bound at 1, so the imitation migration probability is not
+// damped away at any scale.
+func HeavyTraffic(n, m int, rng *rand.Rand) (*Instance, error) {
+	if n < 2 || m < 2 {
+		return nil, fmt.Errorf("%w: heavy-traffic needs n ≥ 2 and m ≥ 2, got n=%d m=%d", ErrInvalid, n, m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+	}
+	resources := make([]game.Resource, m)
+	strategies := make([][]int, m)
+	for e := 0; e < m; e++ {
+		f, err := latency.NewAffine(1+rng.Float64()*3, rng.Float64())
+		if err != nil {
+			return nil, fmt.Errorf("workload: heavy-traffic link: %w", err)
+		}
+		resources[e] = game.Resource{Name: fmt.Sprintf("link%d", e), Latency: f}
+		strategies[e] = []int{e}
+	}
+	g, err := game.New(game.Config{
+		Name:       fmt.Sprintf("heavy-traffic-m%d-n%d", m, n),
+		Resources:  resources,
+		Players:    n,
+		Strategies: strategies,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: heavy-traffic game: %w", err)
+	}
+	hot := m / 8
+	if hot < 2 {
+		hot = 2
+	}
+	assign := make([]int32, n)
+	for p := range assign {
+		assign[p] = int32(p % hot)
+	}
+	st, err := game.NewStateFromAssignment(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("workload: heavy-traffic state: %w", err)
+	}
+	return &Instance{
+		Game:        g,
+		State:       st,
+		Oracle:      eq.SingletonOracle{},
+		Description: fmt.Sprintf("heavy traffic: %d affine links, n=%d packed onto %d hot links", m, n, hot),
+	}, nil
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"congame/internal/prng"
+)
+
+func TestHeavyTrafficShape(t *testing.T) {
+	inst, err := HeavyTraffic(1000, 16, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Game.NumPlayers(); got != 1000 {
+		t.Fatalf("players = %d, want 1000", got)
+	}
+	if got := inst.Game.NumResources(); got != 16 {
+		t.Fatalf("resources = %d, want 16", got)
+	}
+	if got := inst.Game.NumStrategies(); got != 16 {
+		t.Fatalf("strategies = %d, want 16", got)
+	}
+	if err := inst.State.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The population is packed onto the two hot links (16/8 = 2).
+	var packed int64
+	for e := 0; e < 2; e++ {
+		packed += inst.State.Load(e)
+	}
+	if packed != 1000 {
+		t.Fatalf("hot-link load = %d, want all 1000 players", packed)
+	}
+	for e := 2; e < 16; e++ {
+		if inst.State.Load(e) != 0 {
+			t.Fatalf("cold link %d has load %d, want 0", e, inst.State.Load(e))
+		}
+	}
+}
+
+func TestHeavyTrafficRejectsBadSizes(t *testing.T) {
+	if _, err := HeavyTraffic(1, 16, prng.New(1)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := HeavyTraffic(100, 1, prng.New(1)); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := HeavyTraffic(100, 16, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,9 +1,11 @@
 // Package workload builds the named instance families used by the
-// experiment suite and the examples: the two-link overshoot instance of
-// Section 2.3, random linear singleton games (Section 5), the zero-offset
-// scaled games of Theorem 9, the Ω(n) last-agent instance from the end of
-// Section 4, layered-DAG network games with polynomial latencies, and the
-// Braess network.
+// experiment suite, the examples, and the benchmarks: the two-link
+// overshoot instance of Section 2.3, random linear singleton games
+// (Section 5), the zero-offset scaled games of Theorem 9, the Ω(n)
+// last-agent instance from the end of Section 4, layered-DAG network
+// games with polynomial latencies, the Braess network, multicommodity
+// variants, and the HeavyTraffic stress family sized for million-player
+// round-throughput benchmarks.
 package workload
 
 import (
