@@ -1,0 +1,40 @@
+# Build/verify entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make bench` regenerates the committed benchmark report.
+GO ?= go
+
+.PHONY: all build test test-short race vet fmt bench experiments examples
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Regenerate the machine-readable benchmark report tracked across PRs.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_PR3.json
+
+# Regenerate all experiment tables in quick mode.
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+# Build and run every example program (the CI smoke test).
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null || exit 1; \
+	done

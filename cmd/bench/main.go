@@ -1,0 +1,271 @@
+// Command bench runs the key engine/runner benchmarks programmatically
+// (via testing.Benchmark) and writes a machine-readable JSON report, so
+// performance is tracked across PRs without parsing `go test -bench`
+// output.
+//
+// Usage:
+//
+//	bench [-out BENCH_PR3.json] [-quiet]
+//
+// The suite covers the two parallelism axes separately: engine/step/*
+// measures one concurrent round at several worker counts (intra-round
+// sharding), runner/* measures replication fan-out through
+// internal/runner at several pool sizes, and sim/E1/* measures a full
+// experiment regeneration end to end. `make bench` regenerates the
+// committed report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"congame/internal/core"
+	"congame/internal/dynamics"
+	"congame/internal/latency"
+	"congame/internal/prng"
+	"congame/internal/runner"
+	"congame/internal/sim"
+	"congame/internal/weighted"
+	"congame/internal/workload"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full machine-readable benchmark report.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Timestamp  time.Time `json:"timestamp"`
+	Benchmarks []Result  `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		outFlag   = flag.String("out", "BENCH_PR3.json", "output JSON file")
+		quietFlag = flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
+	)
+	flag.Parse()
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+	}
+
+	gmp := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1, 2, gmp}
+	if gmp <= 2 {
+		workerCounts = []int{1, 2}
+	}
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{}
+	add := func(name string, fn func(b *testing.B)) {
+		suite = append(suite, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+
+	// Axis 1: intra-round sharding — one heavy-traffic round per op.
+	for _, w := range workerCounts {
+		w := w
+		add(fmt.Sprintf("engine/step/heavy-n65536/w%d", w), func(b *testing.B) {
+			benchEngineStep(b, 65536, w)
+		})
+	}
+
+	// Axis 2: replication fan-out — 8 replications of a mid-size
+	// imitation run per op, folded through the runner.
+	parCounts := []int{1, 2, gmp}
+	if gmp <= 2 {
+		parCounts = []int{1, 2}
+	}
+	for _, par := range parCounts {
+		par := par
+		add(fmt.Sprintf("runner/spec-8reps-n2000/par%d", par), func(b *testing.B) {
+			benchRunnerSpec(b, 8, par)
+		})
+	}
+
+	// Weighted family round throughput.
+	add("weighted/step/n8192", benchWeightedStep)
+
+	// End-to-end: one full E1 regeneration (quick mode) per op, at
+	// sequential and parallel replication settings.
+	add("sim/E1-quick/par1", func(b *testing.B) { benchExperiment(b, "E1", 1) })
+	e1Par := gmp
+	if e1Par < 2 {
+		e1Par = 2
+	}
+	add(fmt.Sprintf("sim/E1-quick/par%d", e1Par), func(b *testing.B) { benchExperiment(b, "E1", e1Par) })
+
+	for _, bench := range suite {
+		// testing.Benchmark targets the same 1s run time as the default
+		// `go test -bench` configuration.
+		res := testing.Benchmark(bench.fn)
+		r := Result{
+			Name:        bench.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+		if !*quietFlag {
+			fmt.Printf("%-32s %12d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if !*quietFlag {
+		fmt.Printf("report written to %s\n", *outFlag)
+	}
+	return 0
+}
+
+// benchEngineStep measures one concurrent round on the heavy-traffic
+// workload at a fixed worker count.
+func benchEngineStep(b *testing.B, n, workers int) {
+	inst, err := workload.HeavyTraffic(n, 64, prng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEngine(inst.State, im, core.WithSeed(1), core.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dyn := dynamics.FromEngine(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.Step()
+	}
+}
+
+// benchRunnerSpec measures a full replicated run — reps independent
+// imitation simulations, 50 rounds each — through runner.Run.
+func benchRunnerSpec(b *testing.B, reps, par int) {
+	spec := runner.Spec{
+		Reps:        reps,
+		MaxRounds:   50,
+		BaseSeed:    1,
+		Key:         0xbe7c,
+		Parallelism: par,
+		New: func(rep int, seed uint64) (dynamics.Dynamics, error) {
+			inst, err := workload.LinearSingletons(20, 2000, 4, prng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+			if err != nil {
+				return nil, err
+			}
+			e, err := core.NewEngine(inst.State, im, core.WithSeed(seed), core.WithWorkers(1))
+			if err != nil {
+				return nil, err
+			}
+			return dynamics.FromEngine(e), nil
+		},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWeightedStep measures one weighted round.
+func benchWeightedStep(b *testing.B) {
+	fns := make([]latency.Function, 16)
+	for e := range fns {
+		f, err := latency.NewLinear(1 + float64(e)/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns[e] = f
+	}
+	rng := prng.New(2)
+	weights := make([]float64, 8192)
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()*7
+	}
+	g, err := weighted.NewGame(fns, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := weighted.NewRandomState(g, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := weighted.NewProtocol(g, 0.25, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := weighted.NewEngine(st, proto, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dyn := dynamics.FromWeighted(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.Step()
+	}
+}
+
+// benchExperiment regenerates a registered experiment table per op.
+func benchExperiment(b *testing.B, id string, par int) {
+	exp, ok := sim.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(sim.Config{Seed: uint64(i) + 1, Quick: true, Par: par}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}

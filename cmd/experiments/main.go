@@ -1,14 +1,16 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E10,
+// Command experiments regenerates the paper-reproduction tables (E1–E14,
 // see DESIGN.md §3 and EXPERIMENTS.md).
 //
 // Usage:
 //
-//	experiments [-exp E1,E3] [-seed 1] [-quick] [-workers 0]
-//	            [-format markdown|text|csv] [-out results/]
+//	experiments [-exp E1,E3] [-seed 1] [-quick] [-workers 0] [-par 0]
+//	            [-format markdown|text|csv] [-out results/] [-list]
 //
-// With no -exp flag every experiment runs in registry order. Identical
-// seeds reproduce tables bit-for-bit — including across -workers values,
-// which only change wall-clock time (the engines' determinism contract).
+// With no -exp flag every experiment runs in registry order; -list prints
+// the registry (ID, title, paper claim) and exits. Identical seeds
+// reproduce tables bit-for-bit — including across -workers (intra-round
+// sharding) and -par (replication parallelism) values, which only change
+// wall-clock time (the engines' and runner's determinism contracts).
 // Run with -h for the full flag reference.
 package main
 
@@ -30,13 +32,20 @@ func main() {
 func run() int {
 	var (
 		expFlag     = flag.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E3) or 'all'")
+		listFlag    = flag.Bool("list", false, "print the experiment registry (ID, title, paper claim) and exit")
 		seedFlag    = flag.Uint64("seed", 1, "base random seed")
 		quickFlag   = flag.Bool("quick", false, "reduced sizes and replications")
-		workersFlag = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS (tables are identical for every value)")
+		workersFlag = flag.Int("workers", 0, "engine worker goroutines per round; 0 = GOMAXPROCS (tables are identical for every value)")
+		parFlag     = flag.Int("par", 0, "concurrent replications per experiment cell; 0 = GOMAXPROCS (tables are identical for every value)")
 		formatFlag  = flag.String("format", "markdown", "output format: markdown, text, or csv")
 		outFlag     = flag.String("out", "", "also write one CSV file per experiment into this directory")
 	)
 	flag.Parse()
+
+	if *listFlag {
+		printRegistry()
+		return 0
+	}
 
 	if *outFlag != "" {
 		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
@@ -53,14 +62,15 @@ func run() int {
 			id = strings.TrimSpace(id)
 			e, ok := sim.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (valid IDs: %s; run with -list for details)\n",
+					id, strings.Join(registryIDs(), ", "))
 				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	cfg := sim.Config{Seed: *seedFlag, Quick: *quickFlag, Workers: *workersFlag}
+	cfg := sim.Config{Seed: *seedFlag, Quick: *quickFlag, Workers: *workersFlag, Par: *parFlag}
 	for _, e := range selected {
 		start := time.Now()
 		table, err := e.Run(cfg)
@@ -89,4 +99,31 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// registryIDs returns the experiment IDs in registry order.
+func registryIDs() []string {
+	exps := sim.Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// printRegistry writes the experiment registry as an aligned listing.
+func printRegistry() {
+	exps := sim.Experiments()
+	wid, wtitle := 0, 0
+	for _, e := range exps {
+		if len(e.ID) > wid {
+			wid = len(e.ID)
+		}
+		if len(e.Title) > wtitle {
+			wtitle = len(e.Title)
+		}
+	}
+	for _, e := range exps {
+		fmt.Printf("%-*s  %-*s  %s\n", wid, e.ID, wtitle, e.Title, e.Claim)
+	}
 }

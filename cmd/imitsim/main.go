@@ -7,7 +7,7 @@
 //
 //	imitsim -workload linear -n 1024 -m 20 -rounds 500 [-protocol imitation]
 //	        [-seed 1] [-lambda 0.25] [-delta 0.1] [-eps 0.1] [-workers 0]
-//	        [-csv out.csv]
+//	        [-reps 1] [-par 0] [-csv out.csv]
 //
 // Workloads: linear (random linear singletons), uniform (identical links),
 // monomial (a·x^d links, -degree), zero-offset (Theorem 9 scaling), twolink
@@ -17,17 +17,28 @@
 //
 // -workers selects the engine's worker-goroutine count (0 = GOMAXPROCS);
 // the trajectory is bit-identical for every value, so it only changes
-// wall-clock time. Run with -h for the full flag reference.
+// wall-clock time.
+//
+// With -reps > 1 the command switches from a single trajectory to a
+// replicated run: -reps independent simulations (per-replication seeds
+// derived from -seed) fan out across the runner's worker pool (-par
+// concurrent replications, 0 = GOMAXPROCS) and an aggregate summary is
+// printed. Aggregates are bit-identical for every -par and -workers
+// value. Run with -h for the full flag reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"congame/internal/core"
+	"congame/internal/dynamics"
 	"congame/internal/eq"
 	"congame/internal/prng"
+	"congame/internal/runner"
 	"congame/internal/trace"
 	"congame/internal/workload"
 )
@@ -50,9 +61,21 @@ func run() int {
 		epsFlag      = flag.Float64("eps", 0.1, "ε of the (δ,ε,ν)-equilibrium stop condition")
 		noNuFlag     = flag.Bool("no-nu", false, "drop the ν minimum-gain threshold")
 		workersFlag  = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS (trajectories are identical for every value)")
+		repsFlag     = flag.Int("reps", 1, "independent replications; > 1 prints an aggregate summary instead of one trajectory")
+		parFlag      = flag.Int("par", 0, "concurrent replications; 0 = GOMAXPROCS (aggregates are identical for every value)")
 		csvFlag      = flag.String("csv", "", "write the per-round trajectory to this CSV file")
 	)
 	flag.Parse()
+
+	if *repsFlag > 1 {
+		if *csvFlag != "" {
+			fmt.Fprintln(os.Stderr, "imitsim: -csv records a single trajectory and cannot be combined with -reps > 1")
+			return 2
+		}
+		return runReplicated(*workloadFlag, *nFlag, *mFlag, *degreeFlag, *protoFlag,
+			*roundsFlag, *seedFlag, *lambdaFlag, *deltaFlag, *epsFlag, *noNuFlag,
+			*workersFlag, *repsFlag, *parFlag)
+	}
 
 	inst, err := buildWorkload(*workloadFlag, *nFlag, *mFlag, *degreeFlag, *seedFlag)
 	if err != nil {
@@ -130,6 +153,76 @@ func run() int {
 		}
 		fmt.Printf("trajectory written to %s\n", *csvFlag)
 	}
+	return 0
+}
+
+// runReplicated executes -reps independent simulations through the
+// replication-parallel runner and prints an aggregate summary. Every
+// replication rebuilds the workload and protocol from its own derived
+// seed, so replication 0 with -reps 1 semantics is NOT special-cased —
+// this mode answers "what happens on average", the single-run mode "what
+// happened in this trajectory".
+func runReplicated(workloadName string, n, m int, degree float64, protoName string,
+	rounds int, seed uint64, lambda, delta, eps float64, noNu bool,
+	workers, reps, par int) int {
+	spec := runner.Spec{
+		Reps:        reps,
+		MaxRounds:   rounds,
+		BaseSeed:    seed,
+		Key:         0x1517, // imitsim's replication stream key
+		Parallelism: par,
+		New: func(rep int, repSeed uint64) (dynamics.Dynamics, error) {
+			inst, err := buildWorkload(workloadName, n, m, degree, repSeed)
+			if err != nil {
+				return nil, err
+			}
+			proto, err := buildProtocol(inst, protoName, lambda, noNu)
+			if err != nil {
+				return nil, err
+			}
+			engine, err := core.NewEngine(inst.State, proto, core.WithSeed(repSeed), core.WithWorkers(workers))
+			if err != nil {
+				return nil, err
+			}
+			return dynamics.FromEngine(engine), nil
+		},
+		Stop: func(int) dynamics.StopCondition {
+			// ν depends on the replication's game, which only exists once
+			// the factory ran; lift the core condition on first probe and
+			// reuse it for the rest of the replication.
+			var lifted dynamics.StopCondition
+			return func(d dynamics.Dynamics, r dynamics.RoundStats) bool {
+				if lifted == nil {
+					a, ok := d.(*dynamics.Engine)
+					if !ok {
+						return false
+					}
+					nu := a.State().Game().Nu()
+					if noNu {
+						nu = 0
+					}
+					lifted = dynamics.FromCore(core.StopWhenApproxEq(delta, eps, nu))
+				}
+				return lifted(d, r)
+			}
+		},
+	}
+	start := time.Now()
+	results, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	agg := runner.Summarize(results)
+	fmt.Printf("workload   : %s (n=%d, protocol %s)\n", workloadName, n, protoName)
+	fmt.Printf("replications: %d (par=%d, workers=%d) in %v\n",
+		agg.Reps, runner.Parallelism(par), workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("converged  : %d/%d to a (δ=%g, ε=%g, ν)-equilibrium within %d rounds\n",
+		agg.Converged, agg.Reps, delta, eps, rounds)
+	fmt.Printf("mean rounds: %.4g   mean migrations: %.4g\n", agg.MeanRounds, agg.MeanMoves)
+	fmt.Printf("mean final : Φ=%.6g   L_av=%.6g   makespan=%.6g\n",
+		agg.MeanFinalPotential, agg.MeanFinalAvgLatency, agg.MeanFinalMaxLatency)
 	return 0
 }
 

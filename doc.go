@@ -45,6 +45,18 @@
 // reproduce the sequential apply loop exactly (DESIGN.md §4; pinned by
 // the parity tests in internal/core and internal/game).
 //
+// # Dynamics interface and replication-parallel runner
+//
+// internal/dynamics unifies the three dynamics families — the concurrent
+// engine, the weighted engine, and the sequential baselines — behind one
+// Dynamics interface (Step/Run/Round/Potential over shared
+// RoundStats/RunResult types) with transparent, bit-identical adapters.
+// internal/runner fans independent replications of any Dynamics out
+// across a bounded worker pool and folds results in replication order,
+// so experiment aggregates are bit-identical for every parallelism. The
+// two parallelism axes compose: workers shard one round, the runner runs
+// many simulations (DESIGN.md §6).
+//
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds
@@ -58,12 +70,15 @@
 //	internal/netopt     Frank–Wolfe flows: Wardrop equilibria, system optima
 //	internal/fluid      continuous imitation ODE (Wardrop model)
 //	internal/weighted   weighted-players extension
+//	internal/dynamics   unified Dynamics interface + per-family adapters
+//	internal/runner     replication-parallel executor (deterministic folds)
 //	internal/workload   named instance families
 //	internal/sim        experiment registry E1–E14 and table rendering
 //	internal/stats      summary statistics and scaling fits
 //	internal/trace      trajectory recording, CSV, sparklines
 //
-// Binaries: cmd/imitsim (interactive simulator) and cmd/experiments
-// (regenerates every experiment table). Runnable examples live under
-// examples/.
+// Binaries: cmd/imitsim (interactive simulator, single-trajectory and
+// replicated-aggregate modes), cmd/experiments (regenerates every
+// experiment table), and cmd/bench (machine-readable benchmark report).
+// Runnable examples live under examples/.
 package congame

@@ -1,0 +1,74 @@
+package dynamics
+
+import (
+	"congame/internal/core"
+	"congame/internal/game"
+)
+
+// Engine adapts a *core.Engine to the Dynamics interface. Step and Run
+// delegate directly, so trajectories, stop-condition evaluation order
+// (including the pre-run probe and the lazily built snapshot), and
+// RunResults are bit-identical to driving the engine without the adapter.
+type Engine struct {
+	e *core.Engine
+	// snap is the lazily refreshed snapshot core.Engine.Run hands to its
+	// stop condition, stashed for the duration of each stop evaluation so
+	// FromCore-style conditions query the cached RoundView tables instead
+	// of forcing a rebuild.
+	snap game.Snapshot
+}
+
+var _ Dynamics = (*Engine)(nil)
+
+// FromEngine wraps a concurrent engine.
+func FromEngine(e *core.Engine) *Engine {
+	return &Engine{e: e}
+}
+
+// Engine returns the wrapped engine.
+func (a *Engine) Engine() *core.Engine { return a.e }
+
+// State returns the engine's live state.
+func (a *Engine) State() *game.State { return a.e.State() }
+
+// Round returns the number of completed rounds.
+func (a *Engine) Round() int { return a.e.Round() }
+
+// Potential returns the incrementally maintained Rosenthal potential.
+func (a *Engine) Potential() float64 { return a.e.Potential() }
+
+// CurrentSnapshot returns the snapshot a stop condition should query:
+// during Run it is the engine's lazily refreshed per-round snapshot;
+// outside Run it is a freshly rebuilt RoundView.
+func (a *Engine) CurrentSnapshot() game.Snapshot {
+	if a.snap != nil {
+		return a.snap
+	}
+	return a.e.Snapshot()
+}
+
+// Step executes one concurrent round.
+func (a *Engine) Step() RoundStats {
+	return RoundStats(a.e.Step())
+}
+
+// Run delegates to core.Engine.Run, translating the unified stop condition
+// into a core.StopCondition on the fly.
+func (a *Engine) Run(maxRounds int, stop StopCondition) RunResult {
+	var cs core.StopCondition
+	if stop != nil {
+		cs = func(v game.Snapshot, r core.RoundStats) bool {
+			a.snap = v
+			fired := stop(a, RoundStats(r))
+			a.snap = nil
+			return fired
+		}
+	}
+	res := a.e.Run(maxRounds, cs)
+	return RunResult{
+		Rounds:     res.Rounds,
+		Converged:  res.Converged,
+		TotalMoves: res.TotalMoves,
+		Final:      RoundStats(res.Final),
+	}
+}

@@ -1,0 +1,80 @@
+// Package dynamics unifies the repo's three dynamics families behind one
+// interface. The paper's experiments compare the concurrent IMITATION
+// PROTOCOL (core.Engine), its weighted-player extension (weighted.Engine),
+// and the sequential baselines of Section 3.2 (package baseline); each
+// historically exposed its own run API. This package defines the common
+// Dynamics interface — Step, Run, and potential/round accessors over a
+// shared RoundStats/RunResult vocabulary — plus thin adapters for every
+// family.
+//
+// The adapters are deliberately transparent: each delegates to the wrapped
+// implementation without re-deriving randomness or re-ordering work, so a
+// run through an adapter is bit-identical to a run against the underlying
+// engine. That transparency is what lets internal/runner fan replications
+// of *any* family out across a worker pool while reproducing the exact
+// tables the hand-rolled per-family loops produced (see DESIGN.md §6).
+package dynamics
+
+// RoundStats summarizes one executed round (or, for sequential dynamics,
+// one activation batch). It mirrors core.RoundStats field for field; the
+// weighted and sequential adapters document which fields they populate.
+type RoundStats struct {
+	// Round is the 0-based index of the completed round.
+	Round int
+	// Movers is the number of players that migrated this round.
+	Movers int
+	// NewStrategies is the number of previously unregistered strategies
+	// discovered by exploration this round (concurrent engine only).
+	NewStrategies int
+	// Potential is the potential after the round. Adapters that cannot
+	// track it cheaply report NaN; use Dynamics.Potential for ground
+	// truth.
+	Potential float64
+	// AvgLatency is the average latency after the round.
+	AvgLatency float64
+	// MaxLatency is the makespan after the round.
+	MaxLatency float64
+}
+
+// RunResult summarizes a full Run. It mirrors core.RunResult.
+type RunResult struct {
+	// Rounds is the number of rounds (sequential dynamics: activations)
+	// executed.
+	Rounds int
+	// Converged reports whether the stop condition fired (as opposed to
+	// the round budget running out).
+	Converged bool
+	// TotalMoves is the total number of migrations over the dynamics'
+	// lifetime — all rounds ever executed, not just this Run, mirroring
+	// core.Engine.Run — where the family reports it (0 for the Goldberg
+	// baseline).
+	TotalMoves int
+	// Final is the statistics record of the last executed round.
+	Final RoundStats
+}
+
+// StopCondition inspects the dynamics after each round and reports whether
+// the run should stop. Conditions receive the Dynamics itself so that
+// family-specific predicates (equilibrium checks on snapshots, weighted
+// Nash tests) can type-assert down to the adapter they understand; see
+// FromCore and WeightedNash. Conditions must treat the dynamics as
+// read-only.
+type StopCondition func(d Dynamics, r RoundStats) bool
+
+// Dynamics is the unified run API over all dynamics families.
+type Dynamics interface {
+	// Step executes one round (sequential dynamics: one activation batch)
+	// and returns its statistics.
+	Step() RoundStats
+	// Run executes rounds until the stop condition fires or maxRounds
+	// rounds have been executed. A nil stop runs exactly maxRounds rounds
+	// (sequential dynamics additionally stop when absorbed). The stop
+	// condition is also evaluated once before the first round, so an
+	// already-stable state reports Converged with zero rounds.
+	Run(maxRounds int, stop StopCondition) RunResult
+	// Round returns the number of completed rounds.
+	Round() int
+	// Potential returns the current potential (NaN where the family has
+	// none, e.g. weighted games with non-linear latencies).
+	Potential() float64
+}

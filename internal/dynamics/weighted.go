@@ -1,0 +1,98 @@
+package dynamics
+
+import (
+	"math"
+
+	"congame/internal/weighted"
+)
+
+// Weighted adapts a *weighted.Engine to the Dynamics interface. Run
+// reproduces weighted.Engine.Run's semantics exactly — the stop condition
+// is probed once before the first round and after every round — so
+// Run(maxRounds, WeightedNash(eps)) returns the same (rounds, converged)
+// pair as the engine's own Run(maxRounds, eps).
+type Weighted struct {
+	e *weighted.Engine
+	// linear caches whether the game admits the exact weighted linear
+	// potential; non-linear games report NaN potentials.
+	linear bool
+}
+
+var _ Dynamics = (*Weighted)(nil)
+
+// FromWeighted wraps a weighted engine.
+func FromWeighted(e *weighted.Engine) *Weighted {
+	_, err := e.State().LinearPotential()
+	return &Weighted{e: e, linear: err == nil}
+}
+
+// Engine returns the wrapped engine.
+func (a *Weighted) Engine() *weighted.Engine { return a.e }
+
+// State returns the engine's live state.
+func (a *Weighted) State() *weighted.State { return a.e.State() }
+
+// Round returns the number of completed rounds.
+func (a *Weighted) Round() int { return a.e.Round() }
+
+// Potential returns the exact weighted linear potential, or NaN when some
+// link latency is non-linear (the weighted family has no general exact
+// potential).
+func (a *Weighted) Potential() float64 {
+	if !a.linear {
+		return math.NaN()
+	}
+	phi, err := a.e.State().LinearPotential()
+	if err != nil {
+		return math.NaN()
+	}
+	return phi
+}
+
+// Step executes one concurrent weighted round. NewStrategies is always 0
+// (weighted games have a fixed link set).
+func (a *Weighted) Step() RoundStats {
+	round := a.e.Round()
+	moves := a.e.Step()
+	st := a.e.State()
+	return RoundStats{
+		Round:      round,
+		Movers:     moves,
+		Potential:  a.Potential(),
+		AvgLatency: st.AvgLatency(),
+		MaxLatency: st.MaxLatency(),
+	}
+}
+
+// currentStats summarizes the current state attributed to the last
+// completed round, mirroring core.Engine's convention.
+func (a *Weighted) currentStats() RoundStats {
+	st := a.e.State()
+	return RoundStats{
+		Round:      a.e.Round() - 1,
+		Potential:  a.Potential(),
+		AvgLatency: st.AvgLatency(),
+		MaxLatency: st.MaxLatency(),
+	}
+}
+
+// Run executes rounds until the stop condition fires or the budget runs
+// out, with the same probe order as weighted.Engine.Run.
+func (a *Weighted) Run(maxRounds int, stop StopCondition) RunResult {
+	if stop != nil && stop(a, a.currentStats()) {
+		return RunResult{Rounds: 0, Converged: true, Final: a.currentStats()}
+	}
+	if maxRounds <= 0 {
+		return RunResult{Rounds: 0, Converged: false, Final: a.currentStats()}
+	}
+	moves := 0
+	var last RoundStats
+	for r := 1; r <= maxRounds; r++ {
+		last = a.Step()
+		moves += last.Movers
+		if stop != nil && stop(a, last) {
+			return RunResult{Rounds: r, Converged: true, TotalMoves: moves, Final: last}
+		}
+	}
+	return RunResult{Rounds: maxRounds, Converged: false, TotalMoves: moves, Final: last}
+}

@@ -1,0 +1,217 @@
+// Package runner executes replicated simulations concurrently. The
+// paper's claims are statistical — expected potential drops, expected
+// convergence times — so every experiment averages over many independent
+// replications. PR 2 parallelized a single round (intra-round sharding in
+// the engines); this package adds the orthogonal axis: it fans whole
+// replications out across a bounded worker pool and folds the results
+// back in replication-index order, so every aggregate is bit-identical
+// regardless of scheduling, worker count, or GOMAXPROCS.
+//
+// Two entry points:
+//
+//   - Map is the generic primitive: n independent jobs, bounded
+//     parallelism, results in index order, deterministic error selection,
+//     context cancellation.
+//   - Run executes a Spec — a dynamics factory plus replication count,
+//     per-replication seeds derived from the prng streams, round budget,
+//     and stop condition — and returns the per-replication RunResults.
+//
+// Cancellation is cooperative at replication granularity: a canceled
+// context stops new replications from starting; in-flight ones run to
+// completion so partial aggregates never mix half-finished trajectories.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"congame/internal/dynamics"
+	"congame/internal/prng"
+)
+
+// ErrInvalid reports an invalid runner configuration.
+var ErrInvalid = errors.New("runner: invalid")
+
+// Parallelism resolves a parallelism knob: values ≤ 0 select GOMAXPROCS,
+// matching the engines' worker-count convention.
+func Parallelism(par int) int {
+	if par > 0 {
+		return par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs jobs 0..n-1 across a worker pool of the given parallelism
+// (≤ 0 = GOMAXPROCS) and returns their results in job-index order. Jobs
+// must be independent; the fold order — and therefore every float
+// accumulation a caller performs over the results — is the job index, not
+// completion order, so outputs are bit-identical for every parallelism.
+//
+// If jobs fail, dispatching stops and the error with the smallest failing
+// index among the jobs that ran is returned (with parallelism 1 this is
+// always the first failure). If ctx is canceled first, ctx.Err() is
+// returned.
+func Map[T any](ctx context.Context, n, par int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n = %d", ErrInvalid, n)
+	}
+	if job == nil {
+		return nil, fmt.Errorf("%w: nil job", ErrInvalid)
+	}
+	results := make([]T, n)
+	par = Parallelism(par)
+	if par > n {
+		par = n
+	}
+
+	if par <= 1 {
+		// Sequential fast path: no goroutines, same contract.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			r, err := job(ctx, i)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r, err := job(jobCtx, i)
+				if err != nil {
+					errs[i] = err
+					cancel() // stop dispatching further jobs
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-jobCtx.Done():
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Spec describes a replicated run of one dynamics family.
+type Spec struct {
+	// New builds the dynamics for one replication. seed is the
+	// replication's derived seed (see Seed); factories with richer seed
+	// schedules may ignore it and derive their own from rep.
+	New func(rep int, seed uint64) (dynamics.Dynamics, error)
+	// Stop returns the stop condition for one replication, or nil for a
+	// fixed round budget. A factory (rather than a shared StopCondition)
+	// because conditions may be stateful (e.g. dynamics.WhenQuiet).
+	Stop func(rep int) dynamics.StopCondition
+	// Reps is the number of independent replications.
+	Reps int
+	// MaxRounds is the per-replication round budget.
+	MaxRounds int
+	// BaseSeed and Key feed the per-replication seed derivation.
+	BaseSeed uint64
+	Key      uint64
+	// Parallelism bounds the worker pool (≤ 0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Seed derives the replication's seed from the spec's prng stream
+// coordinates: prng.Mix(BaseSeed, Key, rep).
+func (s Spec) Seed(rep int) uint64 {
+	return prng.Mix(s.BaseSeed, s.Key, uint64(rep))
+}
+
+// Run executes every replication of the spec across the worker pool and
+// returns the RunResults in replication order.
+func Run(ctx context.Context, spec Spec) ([]dynamics.RunResult, error) {
+	if spec.New == nil {
+		return nil, fmt.Errorf("%w: spec needs a factory", ErrInvalid)
+	}
+	if spec.Reps < 0 {
+		return nil, fmt.Errorf("%w: reps = %d", ErrInvalid, spec.Reps)
+	}
+	return Map(ctx, spec.Reps, spec.Parallelism, func(_ context.Context, rep int) (dynamics.RunResult, error) {
+		d, err := spec.New(rep, spec.Seed(rep))
+		if err != nil {
+			return dynamics.RunResult{}, fmt.Errorf("runner: replication %d: %w", rep, err)
+		}
+		var stop dynamics.StopCondition
+		if spec.Stop != nil {
+			stop = spec.Stop(rep)
+		}
+		res := d.Run(spec.MaxRounds, stop)
+		if s, ok := d.(interface{ Err() error }); ok && s.Err() != nil {
+			return res, fmt.Errorf("runner: replication %d: %w", rep, s.Err())
+		}
+		return res, nil
+	})
+}
+
+// Aggregate summarizes a slice of replication results.
+type Aggregate struct {
+	// Reps is the number of replications summarized.
+	Reps int
+	// Converged counts replications whose stop condition fired.
+	Converged int
+	// MeanRounds, MeanMoves, MeanFinalPotential, MeanFinalAvgLatency, and
+	// MeanFinalMaxLatency average over replications in index order.
+	MeanRounds          float64
+	MeanMoves           float64
+	MeanFinalPotential  float64
+	MeanFinalAvgLatency float64
+	MeanFinalMaxLatency float64
+}
+
+// Summarize folds RunResults in replication order.
+func Summarize(results []dynamics.RunResult) Aggregate {
+	agg := Aggregate{Reps: len(results)}
+	if agg.Reps == 0 {
+		return agg
+	}
+	for _, r := range results {
+		if r.Converged {
+			agg.Converged++
+		}
+		agg.MeanRounds += float64(r.Rounds)
+		agg.MeanMoves += float64(r.TotalMoves)
+		agg.MeanFinalPotential += r.Final.Potential
+		agg.MeanFinalAvgLatency += r.Final.AvgLatency
+		agg.MeanFinalMaxLatency += r.Final.MaxLatency
+	}
+	n := float64(agg.Reps)
+	agg.MeanRounds /= n
+	agg.MeanMoves /= n
+	agg.MeanFinalPotential /= n
+	agg.MeanFinalAvgLatency /= n
+	agg.MeanFinalMaxLatency /= n
+	return agg
+}

@@ -1,15 +1,18 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"congame/internal/baseline"
 	"congame/internal/core"
+	"congame/internal/dynamics"
 	"congame/internal/eq"
 	"congame/internal/game"
 	"congame/internal/opt"
 	"congame/internal/prng"
+	"congame/internal/runner"
 	"congame/internal/stats"
 	"congame/internal/threshold"
 	"congame/internal/workload"
@@ -22,10 +25,17 @@ type Config struct {
 	// Quick shrinks instance sizes and replication counts (for benchmarks
 	// and -short test runs). Shapes still hold, error bars are wider.
 	Quick bool
-	// Workers overrides the engine worker count (0 = GOMAXPROCS). Tables
+	// Workers overrides the engine worker count. 0 picks automatically:
+	// GOMAXPROCS, or 1 while replications run in parallel so the two
+	// axes don't multiply into GOMAXPROCS² runnable goroutines. Tables
 	// are bit-identical for every value — the engines' determinism
 	// contract — so this is purely a wall-clock knob.
 	Workers int
+	// Par bounds the replication-parallel worker pool (0 = GOMAXPROCS):
+	// independent replications of each experiment cell run concurrently
+	// and fold in replication order, so tables are bit-identical for
+	// every value. The orthogonal axis to Workers — see DESIGN.md §6.
+	Par int
 }
 
 // Experiment is a registered, reproducible experiment.
@@ -78,10 +88,41 @@ func (cfg Config) pick(full, quick int) int {
 	return full
 }
 
-// newEngine wires an instance and protocol into an engine with a derived
-// seed and the configured worker count.
-func (cfg Config) newEngine(inst *workload.Instance, proto core.Protocol, seed uint64) (*core.Engine, error) {
-	return core.NewEngine(inst.State, proto, core.WithSeed(seed), core.WithWorkers(cfg.Workers))
+// par returns the effective replication parallelism.
+func (cfg Config) par() int { return runner.Parallelism(cfg.Par) }
+
+// engineWorkers returns the per-engine worker count for one replication.
+// An explicit Workers value always wins; on auto (0), replication-
+// parallel cells run sequential engines so the two axes don't
+// oversubscribe to GOMAXPROCS² runnable goroutines. Output-invariant
+// either way — this only steers where the cores go.
+func (cfg Config) engineWorkers() int {
+	if cfg.Workers == 0 && cfg.par() > 1 {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// mapReps fans one experiment cell's independent replications out across
+// the configured worker pool via the runner and returns the per-
+// replication results in replication order. Every fold downstream
+// therefore accumulates in exactly the order the deleted sequential loops
+// did, keeping tables bit-identical for every Par (and Workers) value.
+func mapReps[T any](cfg Config, reps int, job func(rep int) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), reps, cfg.par(), func(_ context.Context, rep int) (T, error) {
+		return job(rep)
+	})
+}
+
+// newDynamics wires an instance and protocol into a concurrent engine
+// (derived seed, configured worker count) behind the unified Dynamics
+// interface.
+func (cfg Config) newDynamics(inst *workload.Instance, proto core.Protocol, seed uint64) (*dynamics.Engine, error) {
+	e, err := core.NewEngine(inst.State, proto, core.WithSeed(seed), core.WithWorkers(cfg.engineWorkers()))
+	if err != nil {
+		return nil, err
+	}
+	return dynamics.FromEngine(e), nil
 }
 
 // --- E1: super-martingale -------------------------------------------------
@@ -97,51 +138,72 @@ func runE1(cfg Config) (Table, error) {
 	rounds := 26
 	sampled := []int{0, 1, 2, 3, 4, 5, 8, 12, 16, 20, 25}
 
-	singleDelta := make([][]float64, rounds)
-	singleUp := make([]int, rounds)
-	netDelta := make([][]float64, rounds)
-	for rep := 0; rep < reps; rep++ {
+	type repOut struct {
+		single, net []float64 // per-round ΔΦ
+		up          []bool    // per-round ΔΦ > 0 on the singleton instance
+	}
+	results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
+		out := repOut{
+			single: make([]float64, rounds),
+			net:    make([]float64, rounds),
+			up:     make([]bool, rounds),
+		}
 		rng := prng.Stream(cfg.Seed, 1, uint64(rep))
 		inst, err := workload.LinearSingletons(20, cfg.pick(1000, 200), 4, rng)
 		if err != nil {
-			return t, err
+			return out, err
 		}
 		im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 		if err != nil {
-			return t, err
+			return out, err
 		}
-		e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 11, uint64(rep)))
+		dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 11, uint64(rep)))
 		if err != nil {
-			return t, err
+			return out, err
 		}
-		prev := e.Potential()
+		prev := dyn.Potential()
 		for r := 0; r < rounds; r++ {
-			s := e.Step()
+			s := dyn.Step()
 			d := s.Potential - prev
-			singleDelta[r] = append(singleDelta[r], d)
-			if d > 1e-9 {
-				singleUp[r]++
-			}
+			out.single[r] = d
+			out.up[r] = d > 1e-9
 			prev = s.Potential
 		}
 
 		netInst, err := workload.PolyNetwork(3, 3, cfg.pick(400, 100), 2, 6, rng)
 		if err != nil {
-			return t, err
+			return out, err
 		}
 		imNet, err := core.NewImitation(netInst.Game, core.ImitationConfig{})
 		if err != nil {
-			return t, err
+			return out, err
 		}
-		eNet, err := cfg.newEngine(netInst, imNet, prng.Mix(cfg.Seed, 12, uint64(rep)))
+		dynNet, err := cfg.newDynamics(netInst, imNet, prng.Mix(cfg.Seed, 12, uint64(rep)))
 		if err != nil {
-			return t, err
+			return out, err
 		}
-		prev = eNet.Potential()
+		prev = dynNet.Potential()
 		for r := 0; r < rounds; r++ {
-			s := eNet.Step()
-			netDelta[r] = append(netDelta[r], s.Potential-prev)
+			s := dynNet.Step()
+			out.net[r] = s.Potential - prev
 			prev = s.Potential
+		}
+		return out, nil
+	})
+	if err != nil {
+		return t, err
+	}
+
+	singleDelta := make([][]float64, rounds)
+	singleUp := make([]int, rounds)
+	netDelta := make([][]float64, rounds)
+	for _, out := range results {
+		for r := 0; r < rounds; r++ {
+			singleDelta[r] = append(singleDelta[r], out.single[r])
+			if out.up[r] {
+				singleUp[r]++
+			}
+			netDelta[r] = append(netDelta[r], out.net[r])
 		}
 	}
 
@@ -175,23 +237,29 @@ func runE2(cfg Config) (Table, error) {
 	maxRounds := cfg.pick(50000, 5000)
 	for _, d := range []float64{1, 2, 3} {
 		for _, n := range ns {
-			var rounds []float64
-			converged := 0
-			for rep := 0; rep < reps; rep++ {
+			d, n := d, n
+			results, err := mapReps(cfg, reps, func(rep int) (dynamics.RunResult, error) {
 				rng := prng.Stream(cfg.Seed, 2, uint64(rep), uint64(n), uint64(d))
 				inst, err := workload.MonomialSingletons(10, n, d, 4, rng)
 				if err != nil {
-					return t, err
+					return dynamics.RunResult{}, err
 				}
 				im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 				if err != nil {
-					return t, err
+					return dynamics.RunResult{}, err
 				}
-				e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 21, uint64(rep), uint64(n), uint64(d)))
+				dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 21, uint64(rep), uint64(n), uint64(d)))
 				if err != nil {
-					return t, err
+					return dynamics.RunResult{}, err
 				}
-				res := e.Run(maxRounds, core.StopWhenImitationStable(im.Nu()))
+				return dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenImitationStable(im.Nu()))), nil
+			})
+			if err != nil {
+				return t, err
+			}
+			var rounds []float64
+			converged := 0
+			for _, res := range results {
 				rounds = append(rounds, float64(res.Rounds))
 				if res.Converged {
 					converged++
@@ -227,30 +295,42 @@ func runE3(cfg Config) (Table, error) {
 
 	var xs, ys []float64
 	for _, n := range ns {
-		var rounds, logRatios []float64
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		type repOut struct {
+			rounds   float64
+			logRatio float64
+		}
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
 			rng := prng.Stream(cfg.Seed, 3, uint64(rep), uint64(n))
 			inst, err := workload.LinearSingletons(20, n, 4, rng)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			// The theorem's bound is stated in terms of ln(Φ(x0)/Φ*);
 			// compute both sides exactly.
 			phiStar, err := opt.MinPotentialSingleton(inst.Game)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			logRatios = append(logRatios, math.Log(inst.State.Potential()/phiStar.Cost))
+			logRatio := math.Log(inst.State.Potential() / phiStar.Cost)
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 31, uint64(rep), uint64(n)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 31, uint64(rep), uint64(n)))
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			res := e.Run(maxRounds, core.StopWhenApproxEq(delta, eps, im.Nu()))
-			rounds = append(rounds, float64(res.Rounds))
+			res := dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenApproxEq(delta, eps, im.Nu())))
+			return repOut{rounds: float64(res.Rounds), logRatio: logRatio}, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var rounds, logRatios []float64
+		for _, out := range results {
+			rounds = append(rounds, out.rounds)
+			logRatios = append(logRatios, out.logRatio)
 		}
 		s, err := stats.Summarize(rounds)
 		if err != nil {
@@ -274,22 +354,28 @@ func runE3(cfg Config) (Table, error) {
 		netNs = []int{64, 256}
 	}
 	for _, n := range netNs {
-		var rounds []float64
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		results, err := mapReps(cfg, reps, func(rep int) (dynamics.RunResult, error) {
 			rng := prng.Stream(cfg.Seed, 3, 99, uint64(rep), uint64(n))
 			inst, err := workload.PolyNetwork(4, 3, n, 2, 8, rng)
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 32, uint64(rep), uint64(n)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 32, uint64(rep), uint64(n)))
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
-			res := e.Run(maxRounds, core.StopWhenApproxEq(delta, eps, im.Nu()))
+			return dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenApproxEq(delta, eps, im.Nu()))), nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var rounds []float64
+		for _, res := range results {
 			rounds = append(rounds, float64(res.Rounds))
 		}
 		s, err := stats.Summarize(rounds)
@@ -324,8 +410,7 @@ func runE4(cfg Config) (Table, error) {
 	maxRounds := cfg.pick(200000, 20000)
 
 	measure := func(key uint64, delta, eps float64, degree float64) (float64, float64, error) {
-		var rounds []float64
-		for rep := 0; rep < reps; rep++ {
+		results, err := mapReps(cfg, reps, func(rep int) (dynamics.RunResult, error) {
 			rng := prng.Stream(cfg.Seed, 4, key, uint64(rep))
 			var (
 				inst *workload.Instance
@@ -337,17 +422,23 @@ func runE4(cfg Config) (Table, error) {
 				inst, err = workload.MonomialSingletons(20, n, degree, 4, rng)
 			}
 			if err != nil {
-				return 0, 0, err
+				return dynamics.RunResult{}, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 			if err != nil {
-				return 0, 0, err
+				return dynamics.RunResult{}, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 41, key, uint64(rep)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 41, key, uint64(rep)))
 			if err != nil {
-				return 0, 0, err
+				return dynamics.RunResult{}, err
 			}
-			res := e.Run(maxRounds, core.StopWhenApproxEq(delta, eps, im.Nu()))
+			return dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenApproxEq(delta, eps, im.Nu()))), nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		var rounds []float64
+		for _, res := range results {
 			rounds = append(rounds, float64(res.Rounds))
 		}
 		s, err := stats.Summarize(rounds)
@@ -404,7 +495,14 @@ func runE5(cfg Config) (Table, error) {
 	}
 	n := cfg.pick(1024, 256)
 	rounds := cfg.pick(400, 150)
-	for _, d := range []float64{1, 2, 4, 6, 8} {
+	degrees := []float64{1, 2, 4, 6, 8}
+	type trialOut struct {
+		damped, undamped float64
+	}
+	// No replications here — the trials (one per degree, two engine runs
+	// each) are themselves the independent units fanned out over the pool.
+	results, err := mapReps(cfg, len(degrees), func(i int) (trialOut, error) {
+		d := degrees[i]
 		worst := func(undamped bool) (float64, error) {
 			inst, err := workload.TwoLink(n, d, n/128)
 			if err != nil {
@@ -419,14 +517,14 @@ func runE5(cfg Config) (Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			e, err := cfg.newEngine(inst, proto, prng.Mix(cfg.Seed, 51, uint64(d*10), boolKey(undamped)))
+			dyn, err := cfg.newDynamics(inst, proto, prng.Mix(cfg.Seed, 51, uint64(d*10), boolKey(undamped)))
 			if err != nil {
 				return 0, err
 			}
 			c := inst.Game.Resource(0).Latency.Value(1)
 			worstRatio := 0.0
 			for r := 0; r < rounds; r++ {
-				e.Step()
+				dyn.Step()
 				if ratio := inst.State.ResourceLatency(1) / c; ratio > worstRatio {
 					worstRatio = ratio
 				}
@@ -435,13 +533,20 @@ func runE5(cfg Config) (Table, error) {
 		}
 		damped, err := worst(false)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		undamped, err := worst(true)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
-		t.AddRow(d, damped, undamped, undamped/math.Max(damped, 1e-9))
+		return trialOut{damped: damped, undamped: undamped}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, d := range degrees {
+		out := results[i]
+		t.AddRow(d, out.damped, out.undamped, out.undamped/math.Max(out.damped, 1e-9))
 	}
 	t.AddNote("paper predicts the damped column stays ≈ 1 while the undamped column grows with d")
 	return t, nil
@@ -464,35 +569,56 @@ func runE6(cfg Config) (Table, error) {
 		Headers: []string{"k (base players)", "players", "longest sequence", "length/k²", "shortest (min-gain)", "states", "complete"},
 	}
 	maxK := cfg.pick(11, 7)
+	type trialOut struct {
+		longest  baseline.LongestResult
+		seqSteps int
+	}
+	ks := make([]int, 0, maxK-2)
 	for k := 3; k <= maxK; k++ {
+		ks = append(ks, k)
+	}
+	// One independent job per gadget size k: the exhaustive DFS dominates
+	// this experiment's wall clock, so the sizes fan out over the pool.
+	results, err := mapReps(cfg, len(ks), func(i int) (trialOut, error) {
+		k := ks[i]
 		w, err := geometricPathWeights(k)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		inst, err := threshold.BuildTripled(w)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		// Start from the all-false cut (counter at a low value).
 		side := make([]bool, k)
 		st, err := inst.InitialState(side)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		longest, err := baseline.LongestImitationSequence(st.Clone(), cfg.pick(4_000_000, 300_000))
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		// On this gadget every improving schedule is forced through the
 		// same chain, so min-gain scheduling measures the SHORTEST
 		// sequence (Theorem 6 lower-bounds the shortest).
-		seqState := st.Clone()
-		seq, err := baseline.SequentialImitation(seqState, baseline.PolicyMinGain, inst.MinGain, nil, 1_000_000)
+		seq, err := dynamics.NewSequentialImitation(st.Clone(), baseline.PolicyMinGain, inst.MinGain, nil)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
-		t.AddRow(k, 3*k, longest.Length, float64(longest.Length)/float64(k*k),
-			seq.Steps, longest.StatesVisited, longest.Complete)
+		res := seq.Run(1_000_000, nil)
+		if err := seq.Err(); err != nil {
+			return trialOut{}, err
+		}
+		return trialOut{longest: longest, seqSteps: res.Rounds}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, k := range ks {
+		out := results[i]
+		t.AddRow(k, 3*k, out.longest.Length, float64(out.longest.Length)/float64(k*k),
+			out.seqSteps, out.longest.StatesVisited, out.longest.Complete)
 	}
 	t.AddNote("substitution (DESIGN.md §2): the paper's exponential instances come from PLS-hard MaxCut families [1] that are not constructively specified; this explicit weighted-chain gadget (path graph, a_{i,i+1} = 2^i) forces EVERY improving schedule — longest equals shortest — through a Θ(k²) chain, super-linear in the number of players, and the exhaustive search machinery measures any plugged-in instance family exactly")
 	t.AddNote("the chain is inherently sequential (one improvable class at a time), matching the paper's observation that a single step can already be slow; exponential growth needs the non-constructive PLS instances")
@@ -528,25 +654,32 @@ func runE7(cfg Config) (Table, error) {
 	if cfg.Quick {
 		ns = []int{16, 64, 256}
 	}
+	maxRounds := cfg.pick(500000, 100000)
 	var xs, ys []float64
 	for _, n := range ns {
-		var rounds []float64
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		results, err := mapReps(cfg, reps, func(rep int) (dynamics.RunResult, error) {
 			inst, err := workload.LastAgent(n)
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 71, uint64(rep), uint64(n)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 71, uint64(rep), uint64(n)))
 			if err != nil {
-				return t, err
+				return dynamics.RunResult{}, err
 			}
-			res := e.Run(cfg.pick(500000, 100000), func(_ game.Snapshot, r core.RoundStats) bool {
+			return dyn.Run(maxRounds, func(_ dynamics.Dynamics, r dynamics.RoundStats) bool {
 				return r.Movers > 0
-			})
+			}), nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var rounds []float64
+		for _, res := range results {
 			rounds = append(rounds, float64(res.Rounds))
 		}
 		s, err := stats.Summarize(rounds)
@@ -579,32 +712,48 @@ func runE8(cfg Config) (Table, error) {
 		ns = []int{16, 32, 64}
 	}
 	for _, n := range ns {
-		extinct := 0
-		minLoad := int64(math.MaxInt64)
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		type repOut struct {
+			extinct bool
+			minLoad int64
+		}
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
+			out := repOut{minLoad: int64(math.MaxInt64)}
 			rng := prng.Stream(cfg.Seed, 8, uint64(rep), uint64(n))
 			inst, err := workload.ZeroOffsetSingletons(8, n, 2, 3, rng)
 			if err != nil {
-				return t, err
+				return out, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
 			if err != nil {
-				return t, err
+				return out, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 81, uint64(rep), uint64(n)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 81, uint64(rep), uint64(n)))
 			if err != nil {
-				return t, err
+				return out, err
 			}
 			dead := hasEmptyLink(inst.State)
 			for r := 0; r < horizon && !dead; r++ {
-				e.Step()
-				if l := minLinkLoad(inst.State); l < minLoad {
-					minLoad = l
+				dyn.Step()
+				if l := minLinkLoad(inst.State); l < out.minLoad {
+					out.minLoad = l
 				}
 				dead = hasEmptyLink(inst.State)
 			}
-			if dead {
+			out.extinct = dead
+			return out, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		extinct := 0
+		minLoad := int64(math.MaxInt64)
+		for _, out := range results {
+			if out.extinct {
 				extinct++
+			}
+			if out.minLoad < minLoad {
+				minLoad = out.minLoad
 			}
 		}
 		t.AddRow(n, reps, extinct, float64(extinct)/float64(reps), minLoad)
@@ -648,30 +797,45 @@ func runE9(cfg Config) (Table, error) {
 	}
 	maxRounds := cfg.pick(100000, 10000)
 	for _, n := range ns {
-		var ratios, roundsTaken []float64
-		extinctions := 0
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		type repOut struct {
+			ratio, rounds float64
+			extinct       bool
+		}
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
 			rng := prng.Stream(cfg.Seed, 9, uint64(rep), uint64(n))
 			inst, err := workload.LinearSingletons(8, n, 4, rng)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			frac, err := opt.FractionalLinearSingleton(inst.Game)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			e, err := cfg.newEngine(inst, im, prng.Mix(cfg.Seed, 91, uint64(rep), uint64(n)))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 91, uint64(rep), uint64(n)))
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			res := e.Run(maxRounds, core.StopWhenImitationStable(im.Nu()))
-			ratios = append(ratios, inst.State.SocialCost()/frac.Cost)
-			roundsTaken = append(roundsTaken, float64(res.Rounds))
-			if hasEmptyLink(inst.State) {
+			res := dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenImitationStable(im.Nu())))
+			return repOut{
+				ratio:   inst.State.SocialCost() / frac.Cost,
+				rounds:  float64(res.Rounds),
+				extinct: hasEmptyLink(inst.State),
+			}, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var ratios, roundsTaken []float64
+		extinctions := 0
+		for _, out := range results {
+			ratios = append(ratios, out.ratio)
+			roundsTaken = append(roundsTaken, out.rounds)
+			if out.extinct {
 				extinctions++
 			}
 		}
@@ -719,39 +883,54 @@ func runE10(cfg Config) (Table, error) {
 	}
 
 	for ci, pc := range cases {
-		nash := 0
-		var rounds, ratios []float64
-		for rep := 0; rep < reps; rep++ {
+		ci, pc := ci, pc
+		type repOut struct {
+			nash          bool
+			rounds, ratio float64
+		}
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
 			rng := prng.Stream(cfg.Seed, 10, uint64(ci), uint64(rep))
 			inst, err := workload.LinearSingletons(6, n, 5, rng)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			// Collapse the start: everyone on the single worst link.
 			slowest := worstLink(inst.Game)
 			collapsed, err := game.NewState(inst.Game, slowest)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			inst.State = collapsed
 			sol, err := opt.SolveSingleton(inst.Game)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			proto, err := pc.build(inst.Game)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			e, err := cfg.newEngine(inst, proto, prng.Mix(cfg.Seed, 101, uint64(ci), uint64(rep)))
+			dyn, err := cfg.newDynamics(inst, proto, prng.Mix(cfg.Seed, 101, uint64(ci), uint64(rep)))
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			res := e.Run(maxRounds, core.StopWhenNash(eq.SingletonOracle{}, 0))
-			if res.Converged {
+			res := dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenNash(eq.SingletonOracle{}, 0)))
+			return repOut{
+				nash:   res.Converged,
+				rounds: float64(res.Rounds),
+				ratio:  inst.State.SocialCost() / sol.Cost,
+			}, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		nash := 0
+		var rounds, ratios []float64
+		for _, out := range results {
+			if out.nash {
 				nash++
 			}
-			rounds = append(rounds, float64(res.Rounds))
-			ratios = append(ratios, inst.State.SocialCost()/sol.Cost)
+			rounds = append(rounds, out.rounds)
+			ratios = append(ratios, out.ratio)
 		}
 		t.AddRow(pc.name, fmt.Sprintf("%d/%d", nash, reps), stats.Mean(rounds), stats.Mean(ratios))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"congame/internal/baseline"
 	"congame/internal/core"
+	"congame/internal/dynamics"
 	"congame/internal/eq"
 	"congame/internal/fluid"
 	"congame/internal/game"
@@ -66,32 +67,44 @@ func runE11(cfg Config) (Table, error) {
 		ns = []int{64, 256, 1024}
 	}
 	for _, n := range ns {
-		var sups, finals []float64
-		for rep := 0; rep < reps; rep++ {
+		n := n
+		type repOut struct {
+			sup, final float64
+		}
+		// The replications share only the read-only fluid trajectory; the
+		// runner fans them out and folds in replication order.
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
 			inst, err := scaledInstance(baseFns, n, y0)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			engine, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 111, uint64(n), uint64(rep))), core.WithWorkers(cfg.Workers))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 111, uint64(n), uint64(rep)))
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			sup := math.Abs(inst.State.AvgLatency()-fluidLav[0]) / scale
 			final := 0.0
 			for r := 1; r <= rounds; r++ {
-				engine.Step()
+				dyn.Step()
 				gap := math.Abs(inst.State.AvgLatency()-fluidLav[r]) / scale
 				if gap > sup {
 					sup = gap
 				}
 				final = gap
 			}
-			sups = append(sups, sup)
-			finals = append(finals, final)
+			return repOut{sup: sup, final: final}, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var sups, finals []float64
+		for _, out := range results {
+			sups = append(sups, out.sup)
+			finals = append(finals, out.final)
 		}
 		t.AddRow(n, stats.Mean(sups), stats.Mean(finals), system.IsWardrop(fluidTraj[len(fluidTraj)-1], 0.02))
 	}
@@ -158,17 +171,17 @@ func runE12(cfg Config) (Table, error) {
 	reps := cfg.pick(8, 3)
 	maxRounds := cfg.pick(200000, 40000)
 
-	type outcome struct {
-		steps, activations, ratio float64
-		converged                 int
-	}
-	results := make(map[string]*outcome)
 	order := []string{"concurrent imitation", "combined p=0.1", "sequential best response", "sequential imitation", "goldberg"}
-	for _, name := range order {
-		results[name] = &outcome{}
-	}
 
-	for rep := 0; rep < reps; rep++ {
+	type raceOut struct {
+		steps, activations, ratio float64
+		converged                 bool
+	}
+	type repOut struct {
+		out [5]raceOut // indexed like order
+	}
+	results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
+		var out repOut
 		build := func() (*workload.Instance, float64, error) {
 			rng := prng.Stream(cfg.Seed, 12, uint64(rep))
 			inst, err := workload.LinearSingletons(m, n, 4, rng)
@@ -182,9 +195,11 @@ func runE12(cfg Config) (Table, error) {
 			}
 			return inst, sol, nil
 		}
-		stopped := func(st *game.State) bool {
-			report, err := eq.CheckApprox(st, delta, eps, st.Game().Nu())
-			return err == nil && report.AtEquilibrium
+		// The sequential baselines stop at the same approximate
+		// equilibrium as the concurrent protocols; FromCore routes the
+		// check to their live state.
+		stateStop := func(g *game.Game) dynamics.StopCondition {
+			return dynamics.FromCore(core.StopWhenApproxEq(delta, eps, g.Nu()))
 		}
 
 		// Concurrent imitation.
@@ -197,21 +212,20 @@ func runE12(cfg Config) (Table, error) {
 			if err != nil {
 				return err
 			}
-			e, err := core.NewEngine(inst.State, im, core.WithSeed(prng.Mix(cfg.Seed, 121, uint64(rep))), core.WithWorkers(cfg.Workers))
+			dyn, err := cfg.newDynamics(inst, im, prng.Mix(cfg.Seed, 121, uint64(rep)))
 			if err != nil {
 				return err
 			}
-			res := e.Run(maxRounds/100, core.StopWhenApproxEq(delta, eps, im.Nu()))
-			o := results["concurrent imitation"]
-			o.steps += float64(res.Rounds)
-			o.activations += float64(res.Rounds) * float64(n)
-			o.ratio += inst.State.SocialCost() / sol
-			if res.Converged {
-				o.converged++
+			res := dyn.Run(maxRounds/100, dynamics.FromCore(core.StopWhenApproxEq(delta, eps, im.Nu())))
+			out.out[0] = raceOut{
+				steps:       float64(res.Rounds),
+				activations: float64(res.Rounds) * float64(n),
+				ratio:       inst.State.SocialCost() / sol,
+				converged:   res.Converged,
 			}
 			return nil
 		}(); err != nil {
-			return t, err
+			return out, err
 		}
 
 		// Combined protocol with rare exploration.
@@ -227,21 +241,20 @@ func runE12(cfg Config) (Table, error) {
 			if err != nil {
 				return err
 			}
-			e, err := core.NewEngine(inst.State, c, core.WithSeed(prng.Mix(cfg.Seed, 122, uint64(rep))), core.WithWorkers(cfg.Workers))
+			dyn, err := cfg.newDynamics(inst, c, prng.Mix(cfg.Seed, 122, uint64(rep)))
 			if err != nil {
 				return err
 			}
-			res := e.Run(maxRounds/100, core.StopWhenApproxEq(delta, eps, inst.Game.Nu()))
-			o := results["combined p=0.1"]
-			o.steps += float64(res.Rounds)
-			o.activations += float64(res.Rounds) * float64(n)
-			o.ratio += inst.State.SocialCost() / sol
-			if res.Converged {
-				o.converged++
+			res := dyn.Run(maxRounds/100, dynamics.FromCore(core.StopWhenApproxEq(delta, eps, inst.Game.Nu())))
+			out.out[1] = raceOut{
+				steps:       float64(res.Rounds),
+				activations: float64(res.Rounds) * float64(n),
+				ratio:       inst.State.SocialCost() / sol,
+				converged:   res.Converged,
 			}
 			return nil
 		}(); err != nil {
-			return t, err
+			return out, err
 		}
 
 		// Sequential best response until the same approx-equilibrium.
@@ -250,27 +263,23 @@ func runE12(cfg Config) (Table, error) {
 			if err != nil {
 				return err
 			}
-			steps := 0
-			for steps < maxRounds && !stopped(inst.State) {
-				res, err := baseline.BestResponse(inst.State, inst.Oracle, baseline.PolicyBestGain, nil, 1)
-				if err != nil {
-					return err
-				}
-				if res.Converged {
-					break
-				}
-				steps++
+			dyn, err := dynamics.NewBestResponse(inst.State, inst.Oracle, baseline.PolicyBestGain, nil)
+			if err != nil {
+				return err
 			}
-			o := results["sequential best response"]
-			o.steps += float64(steps)
-			o.activations += float64(steps)
-			o.ratio += inst.State.SocialCost() / sol
-			if stopped(inst.State) {
-				o.converged++
+			res := dyn.Run(maxRounds, stateStop(inst.Game))
+			if err := dyn.Err(); err != nil {
+				return err
+			}
+			out.out[2] = raceOut{
+				steps:       float64(res.Rounds),
+				activations: float64(res.Rounds),
+				ratio:       inst.State.SocialCost() / sol,
+				converged:   res.Converged,
 			}
 			return nil
 		}(); err != nil {
-			return t, err
+			return out, err
 		}
 
 		// Sequential imitation (random improving move).
@@ -280,27 +289,23 @@ func runE12(cfg Config) (Table, error) {
 				return err
 			}
 			rng := prng.New(prng.Mix(cfg.Seed, 123, uint64(rep)))
-			steps := 0
-			for steps < maxRounds && !stopped(inst.State) {
-				res, err := baseline.SequentialImitation(inst.State, baseline.PolicyRandom, 0, rng, 1)
-				if err != nil {
-					return err
-				}
-				if res.Converged {
-					break
-				}
-				steps++
+			dyn, err := dynamics.NewSequentialImitation(inst.State, baseline.PolicyRandom, 0, rng)
+			if err != nil {
+				return err
 			}
-			o := results["sequential imitation"]
-			o.steps += float64(steps)
-			o.activations += float64(steps)
-			o.ratio += inst.State.SocialCost() / sol
-			if stopped(inst.State) {
-				o.converged++
+			res := dyn.Run(maxRounds, stateStop(inst.Game))
+			if err := dyn.Err(); err != nil {
+				return err
+			}
+			out.out[3] = raceOut{
+				steps:       float64(res.Rounds),
+				activations: float64(res.Rounds),
+				ratio:       inst.State.SocialCost() / sol,
+				converged:   res.Converged,
 			}
 			return nil
 		}(); err != nil {
-			return t, err
+			return out, err
 		}
 
 		// Goldberg randomized local search (activations include failed
@@ -311,34 +316,46 @@ func runE12(cfg Config) (Table, error) {
 				return err
 			}
 			rng := prng.New(prng.Mix(cfg.Seed, 124, uint64(rep)))
-			steps := 0
-			chunk := n / 4
-			for steps < maxRounds && !stopped(inst.State) {
-				if _, err := baseline.Goldberg(inst.State, rng, chunk); err != nil {
-					return err
-				}
-				steps += chunk
+			dyn, err := dynamics.NewGoldberg(inst.State, rng, n/4)
+			if err != nil {
+				return err
 			}
-			o := results["goldberg"]
-			o.steps += float64(steps)
-			o.activations += float64(steps)
-			o.ratio += inst.State.SocialCost() / sol
-			if stopped(inst.State) {
-				o.converged++
+			res := dyn.Run(maxRounds, stateStop(inst.Game))
+			if err := dyn.Err(); err != nil {
+				return err
+			}
+			out.out[4] = raceOut{
+				steps:       float64(res.Rounds),
+				activations: float64(res.Rounds),
+				ratio:       inst.State.SocialCost() / sol,
+				converged:   res.Converged,
 			}
 			return nil
 		}(); err != nil {
-			return t, err
+			return out, err
 		}
+		return out, nil
+	})
+	if err != nil {
+		return t, err
 	}
 
-	for _, name := range order {
-		o := results[name]
+	for i, name := range order {
+		var steps, activations, ratio float64
+		converged := 0
+		for _, rep := range results {
+			steps += rep.out[i].steps
+			activations += rep.out[i].activations
+			ratio += rep.out[i].ratio
+			if rep.out[i].converged {
+				converged++
+			}
+		}
 		t.AddRow(name,
-			o.steps/float64(reps),
-			o.activations/float64(reps),
-			o.ratio/float64(reps),
-			fmt.Sprintf("%d/%d", o.converged, reps))
+			steps/float64(reps),
+			activations/float64(reps),
+			ratio/float64(reps),
+			fmt.Sprintf("%d/%d", converged, reps))
 	}
 	t.AddNote("rounds are wall-clock for the concurrent protocols (all n players act per round); sequential dynamics count one activation per step. Concurrency wins wall-clock by orders of magnitude at comparable total work")
 	return t, nil
@@ -356,12 +373,15 @@ func runE13(cfg Config) (Table, error) {
 	n := cfg.pick(500, 150)
 	trials := cfg.pick(6, 3)
 	maxRounds := cfg.pick(20000, 4000)
-	worstAtomic, worstNonatomic := 0.0, 0.0
-	for trial := 0; trial < trials; trial++ {
+	type trialOut struct {
+		ratio, poa float64
+		rounds     int
+	}
+	results, err := mapReps(cfg, trials, func(trial int) (trialOut, error) {
 		rng := prng.Stream(cfg.Seed, 13, uint64(trial))
 		inst, err := workload.PolyNetwork(3, 3, n, 1, 6, rng)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		fns := make([]latency.Function, inst.Game.NumResources())
 		for e := range fns {
@@ -369,36 +389,46 @@ func runE13(cfg Config) (Table, error) {
 		}
 		so, err := netopt.Solve(*inst.Net, fns, float64(n), netopt.SystemOptimum, netopt.Options{})
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		poa, err := netopt.PriceOfAnarchy(*inst.Net, fns, float64(n), netopt.Options{})
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		sampler, err := core.NewNetworkSampler(*inst.Net)
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
 		proto, err := core.NewCombined(inst.Game, core.CombinedConfig{
 			ExploreProbability: 0.1,
 			Exploration:        core.ExplorationConfig{Sampler: sampler},
 		})
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
-		e, err := core.NewEngine(inst.State, proto, core.WithSeed(prng.Mix(cfg.Seed, 131, uint64(trial))), core.WithWorkers(cfg.Workers))
+		dyn, err := cfg.newDynamics(inst, proto, prng.Mix(cfg.Seed, 131, uint64(trial)))
 		if err != nil {
-			return t, err
+			return trialOut{}, err
 		}
-		res := e.Run(maxRounds, core.StopWhenApproxEq(0.05, 0.05, inst.Game.Nu()))
-		ratio := inst.State.SocialCost() / so.Cost
-		if ratio > worstAtomic {
-			worstAtomic = ratio
+		res := dyn.Run(maxRounds, dynamics.FromCore(core.StopWhenApproxEq(0.05, 0.05, inst.Game.Nu())))
+		return trialOut{
+			ratio:  inst.State.SocialCost() / so.Cost,
+			poa:    poa,
+			rounds: res.Rounds,
+		}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	worstAtomic, worstNonatomic := 0.0, 0.0
+	for trial, out := range results {
+		if out.ratio > worstAtomic {
+			worstAtomic = out.ratio
 		}
-		if poa > worstNonatomic {
-			worstNonatomic = poa
+		if out.poa > worstNonatomic {
+			worstNonatomic = out.poa
 		}
-		t.AddRow(trial, n, ratio, poa, res.Rounds)
+		t.AddRow(trial, n, out.ratio, out.poa, out.rounds)
 	}
 	t.AddNote("worst measured: imitation/flow-opt = %.3f (atomic bound 2.5; the flow optimum lower-bounds the atomic optimum, so this overstates the true ratio), wardrop PoA = %.3f (bound 4/3)", worstAtomic, worstNonatomic)
 	return t, nil
@@ -419,15 +449,18 @@ func runE14(cfg Config) (Table, error) {
 	maxRounds := cfg.pick(50000, 10000)
 	slopes := []float64{1, 1.5, 2, 3}
 	for _, wmax := range []float64{1, 2, 4, 8, 16} {
-		var rounds, ratios []float64
-		converged := 0
-		for rep := 0; rep < reps; rep++ {
+		wmax := wmax
+		type repOut struct {
+			rounds, ratio float64
+			converged     bool
+		}
+		results, err := mapReps(cfg, reps, func(rep int) (repOut, error) {
 			rng := prng.New(prng.Mix(cfg.Seed, 14, uint64(wmax), uint64(rep)))
 			fns := make([]latency.Function, m)
 			for e := range fns {
 				f, err := latency.NewLinear(slopes[e])
 				if err != nil {
-					return t, err
+					return repOut{}, err
 				}
 				fns[e] = f
 			}
@@ -439,36 +472,48 @@ func runE14(cfg Config) (Table, error) {
 			}
 			g, err := weighted.NewGame(fns, weights)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			st, err := weighted.NewRandomState(g, rng)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			proto, err := weighted.NewProtocol(g, 0.25, 0)
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
-			engine, err := weighted.NewEngine(st, proto, prng.Mix(cfg.Seed, 141, uint64(wmax), uint64(rep)), weighted.WithWorkers(cfg.Workers))
+			engine, err := weighted.NewEngine(st, proto, prng.Mix(cfg.Seed, 141, uint64(wmax), uint64(rep)), weighted.WithWorkers(cfg.engineWorkers()))
 			if err != nil {
-				return t, err
+				return repOut{}, err
 			}
 			// Fixed ε across weight scales: heavier jobs must reach the
 			// same absolute equilibrium quality, exposing the
 			// pseudopolynomial dependence on the maximum weight.
 			eps := slopes[m-1]
-			r, ok := engine.Run(maxRounds, eps)
-			rounds = append(rounds, float64(r))
-			if ok {
-				converged++
-			}
+			res := dynamics.FromWeighted(engine).Run(maxRounds, dynamics.WeightedNash(eps))
 			// Fractional lower bound on the makespan: totalW/A_Γ with
 			// A_Γ = Σ 1/a_e (all links share one latency).
 			a := 0.0
 			for _, s := range slopes {
 				a += 1 / s
 			}
-			ratios = append(ratios, st.MaxLatency()/(totalW/a))
+			return repOut{
+				rounds:    float64(res.Rounds),
+				converged: res.Converged,
+				ratio:     st.MaxLatency() / (totalW / a),
+			}, nil
+		})
+		if err != nil {
+			return t, err
+		}
+		var rounds, ratios []float64
+		converged := 0
+		for _, out := range results {
+			rounds = append(rounds, out.rounds)
+			ratios = append(ratios, out.ratio)
+			if out.converged {
+				converged++
+			}
 		}
 		s, err := stats.Summarize(rounds)
 		if err != nil {

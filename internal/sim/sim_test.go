@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -84,6 +85,58 @@ func TestAllExperimentsQuick(t *testing.T) {
 				if len(row) != len(tbl.Headers) {
 					t.Errorf("%s row %d has %d cells, want %d", e.ID, i, len(row), len(tbl.Headers))
 				}
+			}
+		})
+	}
+}
+
+// TestTablesInvariantAcrossParallelism is the determinism contract of the
+// two parallelism axes: every experiment table must be byte-identical for
+// runner parallelism 1/2/3/GOMAXPROCS crossed with engine workers
+// 1/GOMAXPROCS. E1 gets the full cross (it exercises Step-level potential
+// tracking); every other experiment is checked at the extreme corner
+// (Par = GOMAXPROCS·3, Workers = GOMAXPROCS) against the sequential
+// reference.
+func TestTablesInvariantAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallelism sweep skipped in -short mode")
+	}
+	gmp := runtime.GOMAXPROCS(0)
+
+	e1, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	ref, err := e1.Run(Config{Seed: 5, Quick: true, Workers: 1, Par: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 3, gmp} {
+		for _, workers := range []int{1, gmp} {
+			got, err := e1.Run(Config{Seed: 5, Quick: true, Workers: workers, Par: par})
+			if err != nil {
+				t.Fatalf("par %d workers %d: %v", par, workers, err)
+			}
+			if got.Markdown() != ref.Markdown() {
+				t.Errorf("E1 table differs at par %d workers %d", par, workers)
+			}
+		}
+	}
+
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, err := e.Run(Config{Seed: 5, Quick: true, Workers: 1, Par: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := e.Run(Config{Seed: 5, Quick: true, Workers: gmp, Par: gmp*3 + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Markdown() != par.Markdown() {
+				t.Errorf("%s table differs between (par 1, workers 1) and (par %d, workers %d)", e.ID, gmp*3+1, gmp)
 			}
 		})
 	}

@@ -341,6 +341,9 @@ func NewEngine(st *State, proto *Protocol, seed uint64, opts ...Option) (*Engine
 // State returns the live state.
 func (e *Engine) State() *State { return e.st }
 
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
 // stream returns the lazily allocated reusable PRNG stream for a worker.
 func (e *Engine) stream(w int) *prng.Reusable {
 	for len(e.streams) <= w {
