@@ -1,40 +1,71 @@
 # Build/verify entry points. CI (.github/workflows/ci.yml) runs the same
-# commands; `make bench` regenerates the committed benchmark report.
+# commands; `make bench` regenerates the committed benchmark report and
+# `make sweep-golden` the committed scenario golden files. Run
+# `make help` for a target overview.
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt bench experiments examples
+SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined
+
+.PHONY: all build test test-short race vet fmt bench experiments examples \
+        sweep-quick sweep-golden sweep-check help
 
 all: build test
 
-build:
+help: ## Show this help.
+	@echo "targets:"
+	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "  %-14s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+build: ## go build ./...
 	$(GO) build ./...
 
-test:
+test: ## go test ./...
 	$(GO) test ./...
 
-test-short:
+test-short: ## go test -short ./...
 	$(GO) test -short ./...
 
-race:
+race: ## go test -race -short ./...
 	$(GO) test -race -short ./...
 
-vet:
+vet: ## go vet ./...
 	$(GO) vet ./...
 
-fmt:
+fmt: ## Fail if any file needs gofmt.
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Regenerate the machine-readable benchmark report tracked across PRs.
-bench:
+bench: ## Regenerate the machine-readable benchmark report tracked across PRs.
 	$(GO) run ./cmd/bench -out BENCH_PR3.json
 
-# Regenerate all experiment tables in quick mode.
-experiments:
+experiments: ## Regenerate all experiment tables in quick mode.
 	$(GO) run ./cmd/experiments -quick
 
-# Build and run every example program (the CI smoke test).
-examples:
+examples: ## Build and run every example program (the CI smoke test).
 	@for d in examples/*/; do \
+		case $$d in examples/scenarios/) continue;; esac; \
 		echo "== $$d"; \
 		$(GO) run ./$$d >/dev/null || exit 1; \
 	done
+
+sweep-quick: ## Run the example scenario specs in quick mode (smoke).
+	@for s in $(SCENARIOS); do \
+		echo "== $$s"; \
+		$(GO) run ./cmd/sweep -spec examples/scenarios/$$s.json -quick -format text || exit 1; \
+	done
+
+# The golden files pin the sweep output byte-for-byte: CI regenerates
+# them (sweep-check) and fails on any diff. After an intentional change
+# to a spec or to the aggregation/formatting path, run `make
+# sweep-golden` and commit the updated examples/scenarios/golden/*.csv.
+sweep-golden: ## Regenerate the committed golden CSVs for the example specs.
+	@for s in $(SCENARIOS); do \
+		$(GO) run ./cmd/sweep -spec examples/scenarios/$$s.json -quick \
+			-out examples/scenarios/golden/$$s.csv >/dev/null || exit 1; \
+		echo "wrote examples/scenarios/golden/$$s.csv"; \
+	done
+
+sweep-check: sweep-golden ## Regenerate goldens and fail on any diff (CI).
+	git diff --exit-code examples/scenarios/golden
+	@untracked=$$(git status --porcelain examples/scenarios/golden | grep '^??' || true); \
+	if [ -n "$$untracked" ]; then \
+		echo "uncommitted golden files:"; echo "$$untracked"; exit 1; \
+	fi

@@ -4,14 +4,17 @@
 // Usage:
 //
 //	experiments [-exp E1,E3] [-seed 1] [-quick] [-workers 0] [-par 0]
-//	            [-format markdown|text|csv] [-out results/] [-list]
+//	            [-format markdown|text|csv] [-json] [-out results/] [-list]
 //
 // With no -exp flag every experiment runs in registry order; -list prints
-// the registry (ID, title, paper claim) and exits. Identical seeds
-// reproduce tables bit-for-bit — including across -workers (intra-round
-// sharding) and -par (replication parallelism) values, which only change
-// wall-clock time (the engines' and runner's determinism contracts).
-// Run with -h for the full flag reference.
+// the registry (ID, title, paper claim) and exits. -json additionally
+// emits each table as machine-readable JSON (the same encoder cmd/sweep
+// uses): into <out>/<id>.json files when -out is set, to stdout after the
+// rendered table otherwise. Identical seeds reproduce tables bit-for-bit
+// — including across -workers (intra-round sharding) and -par
+// (replication parallelism) values, which only change wall-clock time
+// (the engines' and runner's determinism contracts). Run with -h for the
+// full flag reference.
 package main
 
 import (
@@ -38,6 +41,7 @@ func run() int {
 		workersFlag = flag.Int("workers", 0, "engine worker goroutines per round; 0 = GOMAXPROCS (tables are identical for every value)")
 		parFlag     = flag.Int("par", 0, "concurrent replications per experiment cell; 0 = GOMAXPROCS (tables are identical for every value)")
 		formatFlag  = flag.String("format", "markdown", "output format: markdown, text, or csv")
+		jsonFlag    = flag.Bool("json", false, "also emit each table as JSON (stdout, or <out>/<id>.json with -out)")
 		outFlag     = flag.String("out", "", "also write one CSV file per experiment into this directory")
 	)
 	flag.Parse()
@@ -88,6 +92,22 @@ func run() int {
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *formatFlag)
 			return 2
+		}
+		if *jsonFlag {
+			doc, err := table.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			if *outFlag != "" {
+				path := filepath.Join(*outFlag, strings.ToLower(e.ID)+".json")
+				if err := os.WriteFile(path, doc, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+					return 1
+				}
+			} else {
+				os.Stdout.Write(doc)
+			}
 		}
 		if *outFlag != "" {
 			path := filepath.Join(*outFlag, strings.ToLower(e.ID)+".csv")

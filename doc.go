@@ -57,6 +57,16 @@
 // two parallelism axes compose: workers shard one round, the runner runs
 // many simulations (DESIGN.md §6).
 //
+// # Declarative scenarios
+//
+// internal/scenario makes a scenario data instead of Go: a versioned JSON
+// spec names an instance family, a dynamics kind, a stop condition, a
+// replication schedule, and a parameter grid; string-keyed registries
+// resolve the names, grid cells derive their seeds purely from spec
+// coordinates, and cmd/sweep runs a spec file end-to-end. The committed
+// example specs under examples/scenarios reproduce cmd/experiments
+// tables byte-for-byte (DESIGN.md §7).
+//
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds
@@ -74,11 +84,13 @@
 //	internal/runner     replication-parallel executor (deterministic folds)
 //	internal/workload   named instance families
 //	internal/sim        experiment registry E1–E14 and table rendering
+//	internal/scenario   declarative scenario specs + parameter-sweep engine
 //	internal/stats      summary statistics and scaling fits
 //	internal/trace      trajectory recording, CSV, sparklines
 //
 // Binaries: cmd/imitsim (interactive simulator, single-trajectory and
 // replicated-aggregate modes), cmd/experiments (regenerates every
-// experiment table), and cmd/bench (machine-readable benchmark report).
-// Runnable examples live under examples/.
+// experiment table), cmd/sweep (runs declarative scenario specs), and
+// cmd/bench (machine-readable benchmark report). Runnable examples live
+// under examples/.
 package congame

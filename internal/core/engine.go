@@ -109,6 +109,15 @@ func WithObserver(obs RoundObserver) Option {
 	}
 }
 
+// AddObserver registers a per-round observer after construction. Rounds
+// already executed are not replayed; observers only see rounds stepped
+// after registration.
+func (e *Engine) AddObserver(obs RoundObserver) {
+	if obs != nil {
+		e.observers = append(e.observers, obs)
+	}
+}
+
 // NewEngine builds an engine over the given state and protocol.
 func NewEngine(st *game.State, proto Protocol, opts ...Option) (*Engine, error) {
 	if st == nil || proto == nil {

@@ -346,6 +346,10 @@ func NewCombined(g *game.Game, cfg CombinedConfig) (*Combined, error) {
 // Name implements Protocol.
 func (c *Combined) Name() string { return "combined" }
 
+// Nu returns the minimum-gain threshold the imitation half uses; the
+// exploration half migrates on any positive gain.
+func (c *Combined) Nu() float64 { return c.im.nu }
+
 // Decide implements Protocol.
 func (c *Combined) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
 	if rng.Float64() < c.prob {

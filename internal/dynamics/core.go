@@ -19,6 +19,7 @@ type Engine struct {
 }
 
 var _ Dynamics = (*Engine)(nil)
+var _ Observable = (*Engine)(nil)
 
 // FromEngine wraps a concurrent engine.
 func FromEngine(e *core.Engine) *Engine {
@@ -27,6 +28,10 @@ func FromEngine(e *core.Engine) *Engine {
 
 // Engine returns the wrapped engine.
 func (a *Engine) Engine() *core.Engine { return a.e }
+
+// SetObserver implements Observable by registering the observer with the
+// wrapped engine; it sees every round stepped from now on.
+func (a *Engine) SetObserver(obs core.RoundObserver) { a.e.AddObserver(obs) }
 
 // State returns the engine's live state.
 func (a *Engine) State() *game.State { return a.e.State() }

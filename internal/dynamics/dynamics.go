@@ -15,6 +15,8 @@
 // tables the hand-rolled per-family loops produced (see DESIGN.md §6).
 package dynamics
 
+import "congame/internal/core"
+
 // RoundStats summarizes one executed round (or, for sequential dynamics,
 // one activation batch). It mirrors core.RoundStats field for field; the
 // weighted and sequential adapters document which fields they populate.
@@ -60,6 +62,18 @@ type RunResult struct {
 // FromCore and WeightedNash. Conditions must treat the dynamics as
 // read-only.
 type StopCondition func(d Dynamics, r RoundStats) bool
+
+// Observable is implemented by dynamics that can attach a per-round
+// observer (e.g. a trace.Recorder) after construction. All three adapter
+// families implement it: the core-engine adapter forwards to
+// core.Engine.AddObserver, while the sequential and weighted adapters
+// invoke observers themselves after every executed Step. Repeated calls
+// attach ADDITIONAL observers on every family (there is no detach).
+// Observers see the same RoundStats the Step returns, converted to
+// core.RoundStats (field-identical).
+type Observable interface {
+	SetObserver(obs core.RoundObserver)
+}
 
 // Dynamics is the unified run API over all dynamics families.
 type Dynamics interface {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"congame/internal/baseline"
+	"congame/internal/core"
 	"congame/internal/eq"
 	"congame/internal/game"
 )
@@ -35,9 +36,11 @@ type Sequential struct {
 	moves       int
 	absorbed    bool
 	err         error
+	obs         []core.RoundObserver
 }
 
 var _ Dynamics = (*Sequential)(nil)
+var _ Observable = (*Sequential)(nil)
 
 // NewBestResponse wraps sequential best-response dynamics; parameters are
 // validated exactly as by baseline.BestResponse.
@@ -126,6 +129,16 @@ func (s *Sequential) Absorbed() bool { return s.absorbed }
 // failed Sequential stops stepping.
 func (s *Sequential) Err() error { return s.err }
 
+// SetObserver implements Observable: the observer sees the RoundStats of
+// every executed activation (absorbed or failed no-op Steps are not
+// reported, matching the activation count). Repeated calls attach
+// additional observers, like core.Engine.AddObserver.
+func (s *Sequential) SetObserver(obs core.RoundObserver) {
+	if obs != nil {
+		s.obs = append(s.obs, obs)
+	}
+}
+
 // Potential recomputes the exact Rosenthal potential of the current state.
 func (s *Sequential) Potential() float64 { return s.st.Potential() }
 
@@ -162,6 +175,9 @@ func (s *Sequential) Step() RoundStats {
 	if s.countsMoves {
 		s.moves++
 		stats.Movers = 1
+	}
+	for _, obs := range s.obs {
+		obs.Observe(core.RoundStats(stats))
 	}
 	return stats
 }

@@ -3,6 +3,7 @@ package dynamics
 import (
 	"math"
 
+	"congame/internal/core"
 	"congame/internal/weighted"
 )
 
@@ -16,9 +17,20 @@ type Weighted struct {
 	// linear caches whether the game admits the exact weighted linear
 	// potential; non-linear games report NaN potentials.
 	linear bool
+	obs    []core.RoundObserver
 }
 
 var _ Dynamics = (*Weighted)(nil)
+var _ Observable = (*Weighted)(nil)
+
+// SetObserver implements Observable: the observer sees the RoundStats of
+// every executed weighted round. Repeated calls attach additional
+// observers, like core.Engine.AddObserver.
+func (a *Weighted) SetObserver(obs core.RoundObserver) {
+	if obs != nil {
+		a.obs = append(a.obs, obs)
+	}
+}
 
 // FromWeighted wraps a weighted engine.
 func FromWeighted(e *weighted.Engine) *Weighted {
@@ -55,13 +67,17 @@ func (a *Weighted) Step() RoundStats {
 	round := a.e.Round()
 	moves := a.e.Step()
 	st := a.e.State()
-	return RoundStats{
+	stats := RoundStats{
 		Round:      round,
 		Movers:     moves,
 		Potential:  a.Potential(),
 		AvgLatency: st.AvgLatency(),
 		MaxLatency: st.MaxLatency(),
 	}
+	for _, obs := range a.obs {
+		obs.Observe(core.RoundStats(stats))
+	}
+	return stats
 }
 
 // currentStats summarizes the current state attributed to the last

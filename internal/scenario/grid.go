@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"congame/internal/prng"
+)
+
+// Cell is one point of the expanded parameter grid: the merged component
+// params plus the seed coordinates derived from the swept values.
+type Cell struct {
+	// Index is the cell's position in grid-enumeration order (first axis
+	// slowest, like nested loops written outermost-first).
+	Index int
+	// Axes names the sweep axes, aligned with Values.
+	Axes []string
+	// Values are the cell's swept values in axis order.
+	Values []float64
+	// Instance, Dynamics, and Stop are the merged per-component params.
+	Instance Params
+	Dynamics Params
+	Stop     Params
+	// Coords are the swept values in seed_coords order, converted to
+	// uint64 — the words mixed into every seed derivation for this cell.
+	Coords []uint64
+}
+
+// Label renders "param=value" pairs for logs and dry runs.
+func (c Cell) Label() string {
+	if len(c.Axes) == 0 {
+		return "(single cell)"
+	}
+	parts := make([]string, len(c.Axes))
+	for i, a := range c.Axes {
+		parts[i] = fmt.Sprintf("%s=%s", a, formatValue(c.Values[i]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Grid expands the spec's sweep into cells, in enumeration order. quick
+// applies the spec's quick-mode overrides first. A spec without sweep
+// axes yields exactly one cell.
+func Grid(spec *Spec, quick bool) ([]Cell, error) {
+	s := spec.Effective(quick)
+	axes := make([][]float64, len(s.Sweep))
+	names := make([]string, len(s.Sweep))
+	total := 1
+	for i, a := range s.Sweep {
+		vals, err := a.expand()
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = vals
+		names[i] = a.Param
+		total *= len(vals)
+		if total > maxCells {
+			return nil, fmt.Errorf("%w: sweep expands to more than %d cells", ErrInvalid, maxCells)
+		}
+	}
+
+	// coordOrder[i] is the axis position of the i-th seed coordinate.
+	// Grid re-checks the seed_coords shape so a programmatically built,
+	// un-Validated spec errors instead of panicking or silently dropping
+	// an axis from the seed derivation.
+	coordOrder := make([]int, len(names))
+	if len(s.SeedCoords) > 0 {
+		if len(s.SeedCoords) != len(names) {
+			return nil, fmt.Errorf("%w: seed_coords lists %d of %d sweep axes; list all or none", ErrInvalid, len(s.SeedCoords), len(names))
+		}
+		used := make([]bool, len(names))
+		for i, name := range s.SeedCoords {
+			pos := -1
+			for j, axis := range names {
+				if axis == name {
+					pos = j
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("%w: seed_coords entry %q does not name a sweep axis", ErrInvalid, name)
+			}
+			if used[pos] {
+				return nil, fmt.Errorf("%w: duplicate seed_coords entry %q", ErrInvalid, name)
+			}
+			used[pos] = true
+			coordOrder[i] = pos
+		}
+	} else {
+		for i := range coordOrder {
+			coordOrder[i] = i
+		}
+	}
+
+	cells := make([]Cell, 0, total)
+	values := make([]float64, len(axes))
+	var rec func(axis int) error
+	rec = func(axis int) error {
+		if axis == len(axes) {
+			cell, err := s.buildCell(len(cells), names, values, coordOrder)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, cell)
+			return nil
+		}
+		for _, v := range axes[axis] {
+			values[axis] = v
+			if err := rec(axis + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// buildCell merges the swept values into per-component param copies and
+// derives the cell's seed coordinates.
+func (s *Spec) buildCell(index int, names []string, values []float64, coordOrder []int) (Cell, error) {
+	cell := Cell{
+		Index:    index,
+		Axes:     append([]string{}, names...),
+		Values:   append([]float64{}, values...),
+		Instance: s.Instance.Params.clone(),
+		Dynamics: s.Dynamics.Params.clone(),
+	}
+	if s.Stop != nil {
+		cell.Stop = s.Stop.Params.clone()
+	}
+	for i, name := range names {
+		comp, bare, err := s.resolveAxisTarget(name)
+		if err != nil {
+			return Cell{}, err
+		}
+		switch comp {
+		case axisInstance:
+			cell.Instance[bare] = values[i]
+		case axisDynamics:
+			cell.Dynamics[bare] = values[i]
+		case axisStop:
+			cell.Stop[bare] = values[i]
+		}
+	}
+	cell.Coords = make([]uint64, len(coordOrder))
+	for i, pos := range coordOrder {
+		cell.Coords[i] = coordWord(values[pos])
+	}
+	return cell, nil
+}
+
+// coordWord converts a swept value into a seed word: exact non-negative
+// integers use their integer value (matching the hand-rolled
+// experiments' uint64(n) convention — required for table parity), and
+// everything else contributes its IEEE-754 bit pattern so fractional or
+// negative sweeps still derive distinct, platform-independent
+// coordinates instead of truncating into collisions.
+func coordWord(v float64) uint64 {
+	if v == math.Trunc(v) && v >= 0 && v < 1<<63 {
+		return uint64(v)
+	}
+	return math.Float64bits(v)
+}
+
+// instanceSeedWords assembles the prng words for the cell's instance rng
+// at the given replication: seed, instance keys, rep, coords.
+func (s *Spec) instanceSeedWords(c Cell, rep int) []uint64 {
+	return seedWords(s.Seed, s.Instance.Keys, rep, c.Coords)
+}
+
+// dynamicsSeedWords assembles the prng words for the cell's dynamics
+// seed at the given replication: seed, dynamics keys, rep, coords.
+func (s *Spec) dynamicsSeedWords(c Cell, rep int) []uint64 {
+	return seedWords(s.Seed, s.Dynamics.Keys, rep, c.Coords)
+}
+
+// InstanceSeed derives the seed of the cell's instance rng at the given
+// replication (the one handed to prng.Stream). Exposed so tools like
+// cmd/sweep -dry-run print exactly what Run uses.
+func (s *Spec) InstanceSeed(c Cell, rep int) uint64 {
+	return prng.Mix(s.instanceSeedWords(c, rep)...)
+}
+
+// DynamicsSeed derives the cell's dynamics (engine / policy-rng) seed at
+// the given replication.
+func (s *Spec) DynamicsSeed(c Cell, rep int) uint64 {
+	return prng.Mix(s.dynamicsSeedWords(c, rep)...)
+}
+
+func seedWords(seed uint64, keys []uint64, rep int, coords []uint64) []uint64 {
+	words := make([]uint64, 0, 2+len(keys)+len(coords))
+	words = append(words, seed)
+	words = append(words, keys...)
+	words = append(words, uint64(rep))
+	words = append(words, coords...)
+	return words
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegisterMetric adds a metric to the registry; duplicate or empty names
+// panic (a programming error, not spec input).
+func RegisterMetric(m Metric) {
+	if m.Name == "" || m.Value == nil {
+		panic("scenario: RegisterMetric needs a name and a value function")
+	}
+	if _, dup := metrics[m.Name]; dup {
+		panic("scenario: duplicate metric " + m.Name)
+	}
+	metrics[m.Name] = m
+}
+
+// cellN reads the cell's instance population size for the n-normalized
+// metrics.
+func cellN(c *CellResult) (float64, error) {
+	if !c.Cell.Instance.Has("n") {
+		return 0, fmt.Errorf("%w: metric needs the instance param \"n\"", ErrInvalid)
+	}
+	return c.Cell.Instance.Float("n", 0), nil
+}
+
+// registerMetrics installs the built-in aggregate columns. All float
+// metrics fold in replication order (the runner's contract), so values
+// are bit-identical across par/workers settings.
+func registerMetrics() {
+	RegisterMetric(Metric{Name: "mean_rounds", Value: func(c *CellResult) (any, error) {
+		return c.Rounds.Mean, nil
+	}})
+	RegisterMetric(Metric{Name: "ci95_rounds", Value: func(c *CellResult) (any, error) {
+		return c.Rounds.CI95(), nil
+	}})
+	RegisterMetric(Metric{Name: "min_rounds", Value: func(c *CellResult) (any, error) {
+		return c.Rounds.Min, nil
+	}})
+	RegisterMetric(Metric{Name: "max_rounds", Value: func(c *CellResult) (any, error) {
+		return c.Rounds.Max, nil
+	}})
+	RegisterMetric(Metric{Name: "converged", Value: func(c *CellResult) (any, error) {
+		return fmt.Sprintf("%d/%d", c.Agg.Converged, c.Reps), nil
+	}})
+	RegisterMetric(Metric{Name: "converged_frac", Value: func(c *CellResult) (any, error) {
+		return float64(c.Agg.Converged) / float64(c.Reps), nil
+	}})
+	RegisterMetric(Metric{Name: "mean_moves", Value: func(c *CellResult) (any, error) {
+		return c.Agg.MeanMoves, nil
+	}})
+	RegisterMetric(Metric{Name: "mean_final_potential", Value: func(c *CellResult) (any, error) {
+		return c.Agg.MeanFinalPotential, nil
+	}})
+	RegisterMetric(Metric{Name: "mean_final_avg_latency", Value: func(c *CellResult) (any, error) {
+		return c.Agg.MeanFinalAvgLatency, nil
+	}})
+	RegisterMetric(Metric{Name: "mean_final_max_latency", Value: func(c *CellResult) (any, error) {
+		return c.Agg.MeanFinalMaxLatency, nil
+	}})
+	// Scaling-shape columns: mean rounds normalized by n and ln(n), the
+	// two growth laws the paper contrasts (Theorem 7 vs the Ω(n) bound).
+	RegisterMetric(Metric{Name: "mean_rounds_per_n", Value: func(c *CellResult) (any, error) {
+		n, err := cellN(c)
+		if err != nil {
+			return nil, err
+		}
+		return c.Rounds.Mean / n, nil
+	}})
+	RegisterMetric(Metric{Name: "mean_rounds_per_log_n", Value: func(c *CellResult) (any, error) {
+		n, err := cellN(c)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 1 {
+			return nil, fmt.Errorf("%w: mean_rounds_per_log_n needs n > 1, got n=%v", ErrInvalid, n)
+		}
+		return c.Rounds.Mean / math.Log(n), nil
+	}})
+}

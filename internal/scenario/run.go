@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"congame/internal/dynamics"
+	"congame/internal/prng"
+	"congame/internal/runner"
+	"congame/internal/sim"
+	"congame/internal/stats"
+	"congame/internal/trace"
+)
+
+// Options override a spec's execution knobs at run time (CLI flags).
+type Options struct {
+	// Quick applies the spec's quick-mode overrides.
+	Quick bool
+	// Par overrides the spec's replication parallelism when > 0.
+	Par int
+	// Workers overrides the spec's engine worker count when non-zero.
+	Workers int
+}
+
+// CellResult is one finished grid cell: the cell, its per-replication
+// results in replication order, and the aggregates metrics read.
+type CellResult struct {
+	Cell Cell
+	// Reps is the replication count the cell ran with.
+	Reps int
+	// Results holds the per-replication outcomes in replication order.
+	Results []dynamics.RunResult
+	// Rounds summarizes the per-replication round counts (the most
+	// common aggregate; computed once, shared by the rounds metrics).
+	Rounds stats.Summary
+	// Agg is the runner's standard fold over the results.
+	Agg runner.Aggregate
+	// Trace is the recorded per-round trajectory of the traced
+	// replication, when the spec requests one.
+	Trace *trace.Recorder
+}
+
+// Result is a finished sweep: the rendered table plus the raw cells.
+type Result struct {
+	// Spec is the effective (quick-resolved) spec the sweep ran.
+	Spec *Spec
+	// Table renders the per-cell aggregates: one row per cell, axis
+	// columns first, then the spec's metrics.
+	Table sim.Table
+	// Cells are the raw per-cell results in grid order.
+	Cells []CellResult
+}
+
+// prngNew builds the policy rng for sequential dynamics kinds.
+func prngNew(seed uint64) *rand.Rand { return prng.New(seed) }
+
+// Run executes every cell of the spec's grid. Within a cell the
+// replications fan out through runner.Spec across the configured worker
+// pool and fold in replication order; cells run sequentially in grid
+// order. Output is bit-identical for every par and workers setting (the
+// determinism contract of DESIGN.md §4/§6).
+func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("%w: nil spec", ErrInvalid)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.Effective(opts.Quick)
+	if opts.Par > 0 {
+		s.Par = opts.Par
+	}
+	if opts.Workers != 0 {
+		s.Workers = opts.Workers
+	}
+	cells, err := Grid(s, false) // quick already applied to s
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: s, Table: s.tableSkeleton()}
+	for _, cell := range cells {
+		cr, err := s.runCell(ctx, cell)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s cell %d (%s): %w", s.Name, cell.Index, cell.Label(), err)
+		}
+		res.Cells = append(res.Cells, cr)
+		if err := s.addRow(&res.Table, &res.Cells[len(res.Cells)-1]); err != nil {
+			return nil, err
+		}
+	}
+	res.Table.AddNote("scenario %s v%d: %d cells × %d reps, seed %d, dynamics %s on %s",
+		s.Name, s.Version, len(cells), s.Reps, s.Seed, s.Dynamics.Kind, s.Instance.Family)
+	return res, nil
+}
+
+// tableSkeleton prepares the output table: axis columns, then metrics.
+func (s *Spec) tableSkeleton() sim.Table {
+	t := sim.Table{ID: s.Name, Title: s.Title, Claim: s.Claim}
+	for _, a := range s.Sweep {
+		t.Headers = append(t.Headers, a.Param)
+	}
+	t.Headers = append(t.Headers, s.Metrics...)
+	return t
+}
+
+// engineWorkers resolves the per-replication engine worker count: an
+// explicit value wins; on auto (0), replication-parallel runs use
+// sequential engines so the two axes don't multiply into GOMAXPROCS²
+// goroutines. Output-invariant either way.
+func (s *Spec) engineWorkers() int {
+	if s.Workers == 0 && runner.Parallelism(s.Par) > 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// runCell executes one cell's replications through runner.Spec.
+func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
+	fam := families[s.Instance.Family]
+	kind := dynKinds[s.Dynamics.Kind]
+	var stopK stopKind
+	if s.Stop != nil {
+		stopK = stopKinds[s.Stop.Kind]
+	}
+	workers := s.engineWorkers()
+
+	var recorder *trace.Recorder
+	if s.Trace != nil {
+		var err error
+		if s.Trace.Capacity > 0 {
+			recorder, err = trace.NewRing(s.Trace.Capacity)
+		} else {
+			recorder = trace.NewRecorder()
+		}
+		if err != nil {
+			return CellResult{}, err
+		}
+	}
+
+	// stops[rep] is written by New and read by Stop for the same rep on
+	// the same worker goroutine (runner.Run calls them back to back), so
+	// per-replication stop conditions can close over the replication's
+	// own Built context without synchronization.
+	stops := make([]dynamics.StopCondition, s.Reps)
+	rspec := runner.Spec{
+		Reps:        s.Reps,
+		MaxRounds:   s.Rounds,
+		BaseSeed:    s.Seed,
+		Key:         uint64(cell.Index),
+		Parallelism: s.Par,
+		New: func(rep int, _ uint64) (dynamics.Dynamics, error) {
+			rng := prng.New(s.InstanceSeed(cell, rep))
+			inst, err := fam.Build(cell.Instance, rng)
+			if err != nil {
+				return nil, err
+			}
+			built, err := kind.Build(inst, cell.Dynamics, s.DynamicsSeed(cell, rep), workers)
+			if err != nil {
+				return nil, err
+			}
+			if s.Stop != nil {
+				stop, err := stopK.Build(cell.Stop, built)
+				if err != nil {
+					return nil, err
+				}
+				stops[rep] = stop
+			}
+			if recorder != nil && rep == s.Trace.Rep {
+				if obs, ok := built.Dyn.(dynamics.Observable); ok {
+					obs.SetObserver(recorder)
+				} else {
+					return nil, fmt.Errorf("%w: dynamics %s cannot record traces", ErrInvalid, s.Dynamics.Kind)
+				}
+			}
+			return built.Dyn, nil
+		},
+		Stop: func(rep int) dynamics.StopCondition { return stops[rep] },
+	}
+	results, err := runner.Run(ctx, rspec)
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	rounds := make([]float64, len(results))
+	for i, r := range results {
+		rounds[i] = float64(r.Rounds)
+	}
+	summary, err := stats.Summarize(rounds)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{
+		Cell:    cell,
+		Reps:    s.Reps,
+		Results: results,
+		Rounds:  summary,
+		Agg:     runner.Summarize(results),
+		Trace:   recorder,
+	}, nil
+}
+
+// addRow appends the cell's table row: axis values, then metric values.
+func (s *Spec) addRow(t *sim.Table, cr *CellResult) error {
+	row := make([]any, 0, len(cr.Cell.Values)+len(s.Metrics))
+	for _, v := range cr.Cell.Values {
+		row = append(row, formatValue(v))
+	}
+	for _, name := range s.Metrics {
+		v, err := metrics[name].Value(cr)
+		if err != nil {
+			return fmt.Errorf("scenario: metric %s on cell %d: %w", name, cr.Cell.Index, err)
+		}
+		row = append(row, v)
+	}
+	t.AddRow(row...)
+	return nil
+}

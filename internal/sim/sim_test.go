@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"runtime"
 	"strconv"
 	"strings"
@@ -34,6 +35,50 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(csv, "\"x,y\"") {
 		t.Errorf("csv quoting missing:\n%s", csv)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := Table{
+		ID:      "T1",
+		Title:   "json demo",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddNote("n1")
+	doc, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Claim   string     `json:"claim"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(doc, &decoded); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v\n%s", err, doc)
+	}
+	if decoded.ID != "T1" || len(decoded.Headers) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	// Cells must keep the exact strings the text renderers print.
+	if decoded.Rows[0][1] != "2.5" {
+		t.Errorf("row cell = %q, want \"2.5\"", decoded.Rows[0][1])
+	}
+	if len(decoded.Notes) != 1 || decoded.Notes[0] != "n1" {
+		t.Errorf("notes = %v", decoded.Notes)
+	}
+	// An empty table still encodes rows as [] (not null) for consumers.
+	empty := Table{ID: "T2", Headers: []string{"x"}}
+	doc, err = empty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "\"rows\": []") {
+		t.Errorf("empty table rows not []:\n%s", doc)
 	}
 }
 

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
@@ -120,6 +121,40 @@ func (t Table) Text() string {
 		b.WriteString("note: " + n + "\n")
 	}
 	return b.String()
+}
+
+// tableJSON is the machine-readable table encoding shared by
+// cmd/experiments -json and cmd/sweep's JSON writer.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the table as an indented JSON document with id, title,
+// claim, headers, rows, and notes fields. Cells keep exactly the strings
+// the other renderers print, so JSON output is as reproducible as the
+// text tables.
+func (t Table) JSON() ([]byte, error) {
+	doc := tableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Claim:   t.Claim,
+		Headers: t.Headers,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode table %s: %w", t.ID, err)
+	}
+	return append(out, '\n'), nil
 }
 
 // CSV renders the table as comma-separated values (cells containing commas

@@ -50,6 +50,60 @@ func TestRingKeepsRecent(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundBoundary pins the exact-full and first-overwrite
+// transitions: a ring observed exactly its capacity keeps everything in
+// order with no wraparound, and the very next observation evicts only the
+// oldest round.
+func TestRingWraparoundBoundary(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r.Observe(stats(i, float64(i)))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 at exact capacity", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.Round(i).Round; got != i {
+			t.Errorf("full ring Round(%d) = %d, want %d", i, got, i)
+		}
+	}
+	// First overwrite: round 0 leaves, rounds 1..4 stay chronological.
+	r.Observe(stats(4, 4))
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d after first overwrite, want 4", r.Len())
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if got := r.Round(i).Round; got != want {
+			t.Errorf("after overwrite Round(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Potentials and CSV follow the same chronological order.
+	phis := r.Potentials()
+	if phis[0] != 1 || phis[3] != 4 {
+		t.Errorf("Potentials after overwrite = %v", phis)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[1], "1,") || !strings.HasPrefix(lines[4], "4,") {
+		t.Errorf("CSV after overwrite:\n%s", sb.String())
+	}
+	// Wrap all the way around: only the last 4 of 11 remain.
+	for i := 5; i < 11; i++ {
+		r.Observe(stats(i, float64(i)))
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if got := r.Round(i).Round; got != want {
+			t.Errorf("after full wrap Round(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
 func TestNewRingValidation(t *testing.T) {
 	if _, err := NewRing(0); err == nil {
 		t.Error("capacity 0 accepted")

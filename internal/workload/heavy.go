@@ -24,7 +24,7 @@ func HeavyTraffic(n, m int, rng *rand.Rand) (*Instance, error) {
 		return nil, fmt.Errorf("%w: heavy-traffic needs n ≥ 2 and m ≥ 2, got n=%d m=%d", ErrInvalid, n, m)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: heavy-traffic: nil rng", ErrInvalid)
 	}
 	resources := make([]game.Resource, m)
 	strategies := make([][]int, m)

@@ -22,16 +22,16 @@ import (
 // assignment is uniform per class.
 func TwoCommodity(width, n int, maxSlope float64, rng *rand.Rand) (*Instance, error) {
 	if width < 1 {
-		return nil, fmt.Errorf("%w: width = %d", ErrInvalid, width)
+		return nil, fmt.Errorf("%w: two-commodity: width must be ≥ 1, got %d", ErrInvalid, width)
 	}
 	if n < 2 || n%2 != 0 {
 		return nil, fmt.Errorf("%w: two-commodity needs even n ≥ 2, got %d", ErrInvalid, n)
 	}
 	if maxSlope < 1 {
-		return nil, fmt.Errorf("%w: maxSlope = %v", ErrInvalid, maxSlope)
+		return nil, fmt.Errorf("%w: two-commodity: maxSlope must be ≥ 1, got %v", ErrInvalid, maxSlope)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: two-commodity: nil rng", ErrInvalid)
 	}
 
 	numV := 4 + 2*width

@@ -47,10 +47,10 @@ func TwoLink(n int, degree float64, seedOnPoly int) (*Instance, error) {
 		return nil, fmt.Errorf("%w: two-link needs n ≥ 4, got %d", ErrInvalid, n)
 	}
 	if degree < 1 {
-		return nil, fmt.Errorf("%w: degree %v must be ≥ 1", ErrInvalid, degree)
+		return nil, fmt.Errorf("%w: two-link: degree must be ≥ 1, got %v", ErrInvalid, degree)
 	}
 	if seedOnPoly < 0 || seedOnPoly > n {
-		return nil, fmt.Errorf("%w: seedOnPoly = %d out of [0,%d]", ErrInvalid, seedOnPoly, n)
+		return nil, fmt.Errorf("%w: two-link: seedOnPoly = %d out of [0,%d]", ErrInvalid, seedOnPoly, n)
 	}
 	c := math.Pow(float64(n)/4, degree)
 	constant, err := latency.NewConstant(c)
@@ -118,10 +118,10 @@ func singleton(name string, n int, fns []latency.Function, rng *rand.Rand) (*Ins
 // random initial assignment.
 func UniformSingletons(m, n int, rng *rand.Rand) (*Instance, error) {
 	if m < 1 || n < 1 {
-		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+		return nil, fmt.Errorf("%w: uniform-singletons: m and n must be \u2265 1, got m=%d n=%d", ErrInvalid, m, n)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: uniform-singletons: nil rng", ErrInvalid)
 	}
 	fns := make([]latency.Function, m)
 	for i := range fns {
@@ -143,13 +143,13 @@ func UniformSingletons(m, n int, rng *rand.Rand) (*Instance, error) {
 // [1, maxSlope] and a random initial assignment — the Section 5 setting.
 func LinearSingletons(m, n int, maxSlope float64, rng *rand.Rand) (*Instance, error) {
 	if m < 1 || n < 1 {
-		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+		return nil, fmt.Errorf("%w: linear-singletons: m and n must be ≥ 1, got m=%d n=%d", ErrInvalid, m, n)
 	}
 	if maxSlope < 1 {
-		return nil, fmt.Errorf("%w: maxSlope %v must be ≥ 1", ErrInvalid, maxSlope)
+		return nil, fmt.Errorf("%w: linear-singletons: maxSlope must be ≥ 1, got %v", ErrInvalid, maxSlope)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: linear-singletons: nil rng", ErrInvalid)
 	}
 	fns := make([]latency.Function, m)
 	for i := range fns {
@@ -172,13 +172,13 @@ func LinearSingletons(m, n int, maxSlope float64, rng *rand.Rand) (*Instance, er
 // setting of Corollaries 5 and 8.
 func MonomialSingletons(m, n int, degree, maxCoeff float64, rng *rand.Rand) (*Instance, error) {
 	if m < 1 || n < 1 {
-		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+		return nil, fmt.Errorf("%w: monomial-singletons: m and n must be ≥ 1, got m=%d n=%d", ErrInvalid, m, n)
 	}
 	if degree < 1 || maxCoeff < 1 {
-		return nil, fmt.Errorf("%w: degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
+		return nil, fmt.Errorf("%w: monomial-singletons: degree and maxCoeff must be ≥ 1, got degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: monomial-singletons: nil rng", ErrInvalid)
 	}
 	fns := make([]latency.Function, m)
 	for i := range fns {
@@ -202,13 +202,13 @@ func MonomialSingletons(m, n int, degree, maxCoeff float64, rng *rand.Rand) (*In
 // assignment.
 func ZeroOffsetSingletons(m, n int, degree, maxCoeff float64, rng *rand.Rand) (*Instance, error) {
 	if m < 1 || n < 1 {
-		return nil, fmt.Errorf("%w: m=%d n=%d", ErrInvalid, m, n)
+		return nil, fmt.Errorf("%w: zero-offset-singletons: m and n must be ≥ 1, got m=%d n=%d", ErrInvalid, m, n)
 	}
 	if degree < 1 || maxCoeff < 1 {
-		return nil, fmt.Errorf("%w: degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
+		return nil, fmt.Errorf("%w: zero-offset-singletons: degree and maxCoeff must be ≥ 1, got degree=%v maxCoeff=%v", ErrInvalid, degree, maxCoeff)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: zero-offset-singletons: nil rng", ErrInvalid)
 	}
 	fns := make([]latency.Function, m)
 	for i := range fns {
@@ -290,13 +290,13 @@ func LastAgent(n int) (*Instance, error) {
 // uniformly on them.
 func PolyNetwork(layers, width, n int, degree float64, initPaths int, rng *rand.Rand) (*Instance, error) {
 	if n < 1 || initPaths < 1 {
-		return nil, fmt.Errorf("%w: n=%d initPaths=%d", ErrInvalid, n, initPaths)
+		return nil, fmt.Errorf("%w: poly-network: n and initPaths must be ≥ 1, got n=%d initPaths=%d", ErrInvalid, n, initPaths)
 	}
 	if degree < 1 {
-		return nil, fmt.Errorf("%w: degree %v must be ≥ 1", ErrInvalid, degree)
+		return nil, fmt.Errorf("%w: poly-network: degree must be ≥ 1, got %v", ErrInvalid, degree)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("%w: nil rng", ErrInvalid)
+		return nil, fmt.Errorf("%w: poly-network: nil rng", ErrInvalid)
 	}
 	net, err := graph.Layered(layers, width, 0.5, rng)
 	if err != nil {

@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"congame/internal/eq"
@@ -288,4 +290,65 @@ func TestBraessParadox(t *testing.T) {
 		t.Errorf("paradox missing: zig-zag cost %v ≤ balanced %v", zigzag.SocialCost(), balancedCost)
 	}
 	_ = latency.Function(nil)
+}
+
+// TestConstructorErrorsAreNamedAndWrapped pins the error contract every
+// constructor follows: bad input returns an error (never a panic) that
+// wraps ErrInvalid and names the offending family, so scenario-spec
+// validation can surface actionable messages like
+// "workload: invalid: braess needs even n ≥ 2, got 3".
+func TestConstructorErrorsAreNamedAndWrapped(t *testing.T) {
+	rng := prng.New(1)
+	cases := []struct {
+		family string
+		build  func() (*Instance, error)
+	}{
+		{"two-link", func() (*Instance, error) { return TwoLink(2, 2, 0) }},
+		{"two-link", func() (*Instance, error) { return TwoLink(8, 0.5, 0) }},
+		{"two-link", func() (*Instance, error) { return TwoLink(8, 2, 100) }},
+		{"uniform-singletons", func() (*Instance, error) { return UniformSingletons(0, 8, rng) }},
+		{"uniform-singletons", func() (*Instance, error) { return UniformSingletons(4, 8, nil) }},
+		{"linear-singletons", func() (*Instance, error) { return LinearSingletons(4, 0, 2, rng) }},
+		{"linear-singletons", func() (*Instance, error) { return LinearSingletons(4, 8, 0.5, rng) }},
+		{"linear-singletons", func() (*Instance, error) { return LinearSingletons(4, 8, 2, nil) }},
+		{"monomial-singletons", func() (*Instance, error) { return MonomialSingletons(0, 8, 2, 2, rng) }},
+		{"monomial-singletons", func() (*Instance, error) { return MonomialSingletons(4, 8, 0, 2, rng) }},
+		{"monomial-singletons", func() (*Instance, error) { return MonomialSingletons(4, 8, 2, 2, nil) }},
+		{"zero-offset-singletons", func() (*Instance, error) { return ZeroOffsetSingletons(0, 8, 2, 2, rng) }},
+		{"zero-offset-singletons", func() (*Instance, error) { return ZeroOffsetSingletons(4, 8, 0.5, 2, rng) }},
+		{"zero-offset-singletons", func() (*Instance, error) { return ZeroOffsetSingletons(4, 8, 2, 2, nil) }},
+		{"last-agent", func() (*Instance, error) { return LastAgent(7) }},
+		{"last-agent", func() (*Instance, error) { return LastAgent(4) }},
+		{"poly-network", func() (*Instance, error) { return PolyNetwork(3, 3, 0, 2, 4, rng) }},
+		{"poly-network", func() (*Instance, error) { return PolyNetwork(3, 3, 8, 0.5, 4, rng) }},
+		{"poly-network", func() (*Instance, error) { return PolyNetwork(3, 3, 8, 2, 4, nil) }},
+		{"braess", func() (*Instance, error) { return Braess(3) }},
+		{"braess", func() (*Instance, error) { return Braess(0) }},
+		{"two-commodity", func() (*Instance, error) { return TwoCommodity(0, 8, 2, rng) }},
+		{"two-commodity", func() (*Instance, error) { return TwoCommodity(2, 7, 2, rng) }},
+		{"two-commodity", func() (*Instance, error) { return TwoCommodity(2, 8, 0.5, rng) }},
+		{"two-commodity", func() (*Instance, error) { return TwoCommodity(2, 8, 2, nil) }},
+		{"heavy-traffic", func() (*Instance, error) { return HeavyTraffic(1, 4, rng) }},
+		{"heavy-traffic", func() (*Instance, error) { return HeavyTraffic(100, 4, nil) }},
+	}
+	for i, tc := range cases {
+		inst, err := func() (inst *Instance, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("case %d (%s): constructor panicked: %v", i, tc.family, r)
+				}
+			}()
+			return tc.build()
+		}()
+		if err == nil {
+			t.Errorf("case %d (%s): bad input accepted (instance %v)", i, tc.family, inst)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d (%s): error %q does not wrap ErrInvalid", i, tc.family, err)
+		}
+		if !strings.Contains(err.Error(), tc.family) {
+			t.Errorf("case %d: error %q does not name family %q", i, err, tc.family)
+		}
+	}
 }
