@@ -1,18 +1,29 @@
-// Command bench runs the key engine/runner benchmarks programmatically
-// (via testing.Benchmark) and writes a machine-readable JSON report, so
+// Command bench runs the tracked benchmark suite programmatically (via
+// testing.Benchmark) and writes a machine-readable JSON report, so
 // performance is tracked across PRs without parsing `go test -bench`
-// output.
+// output — and diffs two such reports, which is what the CI bench-gate
+// job does.
 //
 // Usage:
 //
-//	bench [-out BENCH_PR3.json] [-quiet]
+//	bench [run] [-out bench.json] [-benchtime 1s] [-quiet]
+//	bench compare [-tol 0.25] [-tol-for name=frac,...] OLD.json NEW.json
 //
-// The suite covers the two parallelism axes separately: engine/step/*
-// measures one concurrent round at several worker counts (intra-round
-// sharding), runner/* measures replication fan-out through
-// internal/runner at several pool sizes, and sim/E1/* measures a full
-// experiment regeneration end to end. `make bench` regenerates the
-// committed report.
+// The run suite (versioned; see suiteVersion) covers the hot paths the
+// repo optimizes: engine/step/* measures one concurrent imitation round
+// at n ∈ {4096, 65536, 262144} across worker counts (intra-round
+// sharding), weighted/step/* one weighted round, runner/* replication
+// fan-out through internal/runner, sweep/* a single scenario cell end to
+// end, and sim/E1/* a full experiment regeneration. `make bench`
+// regenerates the committed BENCH_PR5.json baseline; plain runs default
+// to bench.json so a local run cannot clobber the committed baselines.
+//
+// compare matches benchmarks by name and fails (exit 1) when NEW regresses
+// against OLD: ns/op worse by more than the tolerance (default 25%,
+// overridable per benchmark with -tol-for), or any allocs/op growth on a
+// benchmark whose OLD allocs/op is 0 (the zero-allocation paths are exact,
+// machine-independent contracts). Benchmarks present on only one side are
+// reported but never fail the gate, so the suite can grow.
 package main
 
 import (
@@ -22,6 +33,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,10 +44,16 @@ import (
 	"congame/internal/latency"
 	"congame/internal/prng"
 	"congame/internal/runner"
+	"congame/internal/scenario"
 	"congame/internal/sim"
 	"congame/internal/weighted"
 	"congame/internal/workload"
 )
+
+// suiteVersion identifies the benchmark suite layout. Bump it when
+// benchmarks are added, removed, or change meaning; compare warns when
+// diffing reports from different suite versions.
+const suiteVersion = 5
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -46,88 +66,68 @@ type Result struct {
 
 // Report is the full machine-readable benchmark report.
 type Report struct {
-	GoVersion  string    `json:"go_version"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	NumCPU     int       `json:"num_cpu"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Timestamp  time.Time `json:"timestamp"`
-	Benchmarks []Result  `json:"benchmarks"`
+	SuiteVersion int       `json:"suite_version,omitempty"`
+	GoVersion    string    `json:"go_version"`
+	GOOS         string    `json:"goos"`
+	GOARCH       string    `json:"goarch"`
+	NumCPU       int       `json:"num_cpu"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Timestamp    time.Time `json:"timestamp"`
+	Benchmarks   []Result  `json:"benchmarks"`
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
+func run(args []string) int {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:])
+	}
+	if len(args) > 0 && args[0] == "run" {
+		args = args[1:]
+	}
+	return runSuite(args)
+}
+
+// ---------------------------------------------------------------------------
+// run: execute the suite and write the report.
+
+func runSuite(args []string) int {
+	fs := flag.NewFlagSet("bench run", flag.ExitOnError)
 	var (
-		outFlag   = flag.String("out", "BENCH_PR3.json", "output JSON file")
-		quietFlag = flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
+		outFlag       = fs.String("out", "bench.json", "output JSON file (make bench sets the committed baseline name)")
+		benchtimeFlag = fs.String("benchtime", "", "per-benchmark run time or count, e.g. 2s or 100x (default: testing's 1s)")
+		quietFlag     = fs.Bool("quiet", false, "suppress the per-benchmark progress lines")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bench: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	// testing.Benchmark honours the -test.benchtime flag; register the
+	// testing flags and set it so -benchtime works outside `go test`.
+	testing.Init()
+	if *benchtimeFlag != "" {
+		if err := flag.CommandLine.Set("test.benchtime", *benchtimeFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -benchtime %q: %v\n", *benchtimeFlag, err)
+			return 2
+		}
+	}
 
 	report := Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC(),
+		SuiteVersion: suiteVersion,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Timestamp:    time.Now().UTC(),
 	}
 
-	gmp := runtime.GOMAXPROCS(0)
-	workerCounts := []int{1, 2, gmp}
-	if gmp <= 2 {
-		workerCounts = []int{1, 2}
-	}
-
-	suite := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{}
-	add := func(name string, fn func(b *testing.B)) {
-		suite = append(suite, struct {
-			name string
-			fn   func(b *testing.B)
-		}{name, fn})
-	}
-
-	// Axis 1: intra-round sharding — one heavy-traffic round per op.
-	for _, w := range workerCounts {
-		w := w
-		add(fmt.Sprintf("engine/step/heavy-n65536/w%d", w), func(b *testing.B) {
-			benchEngineStep(b, 65536, w)
-		})
-	}
-
-	// Axis 2: replication fan-out — 8 replications of a mid-size
-	// imitation run per op, folded through the runner.
-	parCounts := []int{1, 2, gmp}
-	if gmp <= 2 {
-		parCounts = []int{1, 2}
-	}
-	for _, par := range parCounts {
-		par := par
-		add(fmt.Sprintf("runner/spec-8reps-n2000/par%d", par), func(b *testing.B) {
-			benchRunnerSpec(b, 8, par)
-		})
-	}
-
-	// Weighted family round throughput.
-	add("weighted/step/n8192", benchWeightedStep)
-
-	// End-to-end: one full E1 regeneration (quick mode) per op, at
-	// sequential and parallel replication settings.
-	add("sim/E1-quick/par1", func(b *testing.B) { benchExperiment(b, "E1", 1) })
-	e1Par := gmp
-	if e1Par < 2 {
-		e1Par = 2
-	}
-	add(fmt.Sprintf("sim/E1-quick/par%d", e1Par), func(b *testing.B) { benchExperiment(b, "E1", e1Par) })
-
-	for _, bench := range suite {
-		// testing.Benchmark targets the same 1s run time as the default
-		// `go test -bench` configuration.
+	for _, bench := range suite() {
 		res := testing.Benchmark(bench.fn)
 		r := Result{
 			Name:        bench.name,
@@ -138,7 +138,7 @@ func run() int {
 		}
 		report.Benchmarks = append(report.Benchmarks, r)
 		if !*quietFlag {
-			fmt.Printf("%-32s %12d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
+			fmt.Printf("%-36s %10d iter %14.0f ns/op %10d B/op %6d allocs/op\n",
 				r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 	}
@@ -159,8 +159,76 @@ func run() int {
 	return 0
 }
 
-// benchEngineStep measures one concurrent round on the heavy-traffic
-// workload at a fixed worker count.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite assembles the versioned benchmark list.
+func suite() []namedBench {
+	var out []namedBench
+	add := func(name string, fn func(b *testing.B)) {
+		out = append(out, namedBench{name, fn})
+	}
+
+	gmp := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1, 2}
+	if gmp > 2 {
+		workerCounts = append(workerCounts, gmp)
+	}
+
+	// Axis 1: intra-round sharding — one heavy-traffic round per op, at
+	// three population scales.
+	for _, n := range []int{4096, 65536, 262144} {
+		for _, w := range workerCounts {
+			n, w := n, w
+			add(fmt.Sprintf("engine/step/heavy-n%d/w%d", n, w), func(b *testing.B) {
+				benchEngineStep(b, n, w)
+			})
+		}
+	}
+
+	// Axis 2: replication fan-out — 8 replications of a mid-size
+	// imitation run per op, folded through the runner.
+	parCounts := []int{1, 2}
+	if gmp > 2 {
+		parCounts = append(parCounts, gmp)
+	}
+	for _, par := range parCounts {
+		par := par
+		add(fmt.Sprintf("runner/spec-8reps-n2000/par%d", par), func(b *testing.B) {
+			benchRunnerSpec(b, 8, par)
+		})
+	}
+
+	// Weighted family round throughput.
+	add("weighted/step/n8192", benchWeightedStep)
+
+	// Declarative layer: one single-cell scenario sweep end to end.
+	add("sweep/cell-n512/par1", func(b *testing.B) { benchSweepCell(b, 1) })
+
+	// End-to-end: one full E1 regeneration (quick mode) per op, at
+	// sequential and parallel replication settings. par1/par2 run on every
+	// machine so their names always match the committed baseline and stay
+	// gated; the GOMAXPROCS variant is extra color on wide hosts.
+	add("sim/E1-quick/par1", func(b *testing.B) { benchExperiment(b, "E1", 1) })
+	add("sim/E1-quick/par2", func(b *testing.B) { benchExperiment(b, "E1", 2) })
+	if gmp > 2 {
+		add(fmt.Sprintf("sim/E1-quick/par%d", gmp), func(b *testing.B) { benchExperiment(b, "E1", gmp) })
+	}
+
+	return out
+}
+
+// benchEngineStep measures one concurrent heavy-traffic round at a fixed
+// worker count. Every iteration replays the SAME round from a fresh clone
+// of the initial state: two untimed warm-up rounds let the reusable
+// buffers reach their high-water marks (so allocs/op measures the
+// steady-state 0-alloc contract), then exactly one round is timed. That
+// makes both ns/op and allocs/op independent of -benchtime — a gate run
+// at 0.3s and a baseline at 1s measure identical physics — where timing a
+// continuing trajectory would average ever-cheaper rounds as the dynamics
+// converge.
 func benchEngineStep(b *testing.B, n, workers int) {
 	inst, err := workload.HeavyTraffic(n, 64, prng.New(1))
 	if err != nil {
@@ -170,14 +238,19 @@ func benchEngineStep(b *testing.B, n, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, err := core.NewEngine(inst.State, im, core.WithSeed(1), core.WithWorkers(workers))
-	if err != nil {
-		b.Fatal(err)
-	}
-	dyn := dynamics.FromEngine(e)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := inst.State.Clone()
+		e, err := core.NewEngine(st, im, core.WithSeed(1), core.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn := dynamics.FromEngine(e)
+		dyn.Step()
+		dyn.Step()
+		b.StartTimer()
 		dyn.Step()
 	}
 }
@@ -217,7 +290,9 @@ func benchRunnerSpec(b *testing.B, reps, par int) {
 	}
 }
 
-// benchWeightedStep measures one weighted round.
+// benchWeightedStep measures one weighted round, with the same
+// clone-and-replay shape as benchEngineStep so the number is benchtime-
+// independent.
 func benchWeightedStep(b *testing.B) {
 	fns := make([]latency.Function, 16)
 	for e := range fns {
@@ -236,7 +311,7 @@ func benchWeightedStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st, err := weighted.NewRandomState(g, rng)
+	initial, err := weighted.NewRandomState(g, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,15 +319,55 @@ func benchWeightedStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, err := weighted.NewEngine(st, proto, 3)
-	if err != nil {
-		b.Fatal(err)
-	}
-	dyn := dynamics.FromWeighted(e)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := weighted.NewEngine(initial.Clone(), proto, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn := dynamics.FromWeighted(e)
 		dyn.Step()
+		dyn.Step()
+		b.StartTimer()
+		dyn.Step()
+	}
+}
+
+// benchSweepSpec is the single-cell scenario the sweep benchmark runs:
+// small enough for the gate job, shaped like the committed example specs.
+const benchSweepSpec = `{
+  "version": 1,
+  "name": "bench-cell",
+  "instance": {
+    "family": "linear-singletons",
+    "keys": [7],
+    "params": {"m": 10, "maxSlope": 4}
+  },
+  "dynamics": {"kind": "imitation", "keys": [71]},
+  "stop": {"kind": "imitation-stable"},
+  "rounds": 500,
+  "reps": 4,
+  "seed": 1,
+  "metrics": ["mean_rounds", "converged_frac"],
+  "sweep": [{"param": "n", "values": [512]}]
+}`
+
+// benchSweepCell measures one declarative sweep cell end to end (parse,
+// grid expansion, replications, metric fold).
+func benchSweepCell(b *testing.B, par int) {
+	spec, err := scenario.Parse(strings.NewReader(benchSweepSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(ctx, spec, scenario.Options{Par: par}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -264,8 +379,144 @@ func benchExperiment(b *testing.B, id string, par int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(sim.Config{Seed: uint64(i) + 1, Quick: true, Par: par}); err != nil {
+		// Cycle a fixed seed set so short gate runs and long baseline runs
+		// average over the same replication mix.
+		if _, err := exp.Run(sim.Config{Seed: uint64(i%8) + 1, Quick: true, Par: par}); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// compare: diff two reports with per-benchmark tolerance.
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("bench compare", flag.ExitOnError)
+	var (
+		tolFlag    = fs.Float64("tol", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+		tolForFlag = fs.String("tol-for", "", "per-benchmark overrides, e.g. sweep/cell-n512/par1=0.5,sim/E1-quick/par1=0.4")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench compare [-tol 0.25] [-tol-for name=frac,...] OLD.json NEW.json")
+		return 2
+	}
+	overrides, err := parseTolFor(*tolForFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench compare: %v\n", err)
+		return 2
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench compare: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench compare: %v\n", err)
+		return 2
+	}
+	if oldRep.SuiteVersion != newRep.SuiteVersion {
+		fmt.Printf("note: comparing suite v%d against v%d — only the common benchmarks gate\n",
+			oldRep.SuiteVersion, newRep.SuiteVersion)
+	}
+
+	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	names := make([]string, 0, len(newRep.Benchmarks))
+	newBy := make(map[string]Result, len(newRep.Benchmarks))
+	for _, r := range newRep.Benchmarks {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	fmt.Printf("%-36s %14s %14s %8s %11s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "status")
+	for _, name := range names {
+		nw := newBy[name]
+		od, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.0f %8s %11s  new (not gated)\n", name, "-", nw.NsPerOp, "-", allocsCell(-1, nw.AllocsPerOp))
+			continue
+		}
+		delta := 0.0
+		if od.NsPerOp > 0 {
+			delta = (nw.NsPerOp - od.NsPerOp) / od.NsPerOp
+		}
+		tol := *tolFlag
+		if t, ok := overrides[name]; ok {
+			tol = t
+		}
+		var fails []string
+		if delta > tol {
+			fails = append(fails, fmt.Sprintf("FAIL ns/op +%.1f%% > +%.0f%% tolerance", 100*delta, 100*tol))
+		}
+		if od.AllocsPerOp == 0 && nw.AllocsPerOp > 0 {
+			fails = append(fails, fmt.Sprintf("FAIL allocs/op 0 -> %d on a zero-alloc path", nw.AllocsPerOp))
+		}
+		status := "ok"
+		if len(fails) > 0 {
+			status = strings.Join(fails, "; ")
+			failures++
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %+7.1f%% %11s  %s\n",
+			name, od.NsPerOp, nw.NsPerOp, 100*delta, allocsCell(od.AllocsPerOp, nw.AllocsPerOp), status)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Printf("%-36s dropped from new report (not gated)\n", name)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("compare: FAIL — %d regression(s); see `make help` for the re-baseline flow\n", failures)
+		return 1
+	}
+	fmt.Printf("compare: PASS (%d benchmarks gated, ns/op tolerance +%.0f%%)\n", len(names), 100**tolFlag)
+	return 0
+}
+
+func allocsCell(old, new int64) string {
+	if old < 0 {
+		return fmt.Sprintf("-> %d", new)
+	}
+	return fmt.Sprintf("%d -> %d", old, new)
+}
+
+func parseTolFor(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tol-for entry %q: want name=frac", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("-tol-for entry %q: bad fraction", part)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
 }

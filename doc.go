@@ -15,18 +15,21 @@
 // # Snapshot architecture
 //
 // All latency consumers run against the game.Snapshot interface: the
-// engine precomputes every resource and strategy latency once per round
-// into an immutable game.RoundView (O(m) per round), so protocol
-// decisions, stop conditions, and equilibrium checks are table lookups
-// with no latency-function dispatch on the hot path; game.State's direct
-// methods remain the bit-identical reference implementation (DESIGN.md §2).
+// engine maintains every resource and strategy latency in an immutable
+// game.RoundView, refreshed incrementally each round from the state's
+// per-resource mutation epochs (only links whose load changed re-evaluate
+// their latency functions), so protocol decisions, stop conditions, and
+// equilibrium checks are table lookups with no latency-function dispatch
+// on the hot path; game.State's direct methods remain the bit-identical
+// reference implementation (DESIGN.md §2, §8).
 //
 // # Parallel rounds
 //
-// With more than one worker the engine shards the entire round: each
-// worker decides a contiguous range of players against the shared
-// RoundView and accumulates its migrations (per-resource load deltas,
-// reassignments, newly discovered strategies) into a private game.Delta;
+// The engine shards the entire round (one worker runs its single shard
+// inline, at zero steady-state allocations): each worker decides a
+// contiguous range of players against the shared RoundView and
+// accumulates its migrations (per-resource load deltas, reassignments,
+// newly discovered strategies) into a private game.Delta;
 // game.State.ApplyDeltas then merges the shards in shard-index order —
 // registering new strategies in global first-proposer order, handing each
 // shard the exact intermediate load vector at its sequential entry point,

@@ -79,9 +79,9 @@ func BestResponse(st *game.State, oracle eq.Oracle, pol Policy, rng *rand.Rand, 
 		return Result{}, fmt.Errorf("%w: random policy needs rng", ErrInvalid)
 	}
 	n := st.Game().NumPlayers()
-	view := new(game.RoundView) // filled by Reset at each step
+	view := new(game.RoundView) // filled incrementally by Sync at each step
 	for step := 0; step < maxSteps; step++ {
-		view.Reset(st)
+		view.Sync(st)
 		type cand struct {
 			player int
 			imp    eq.Improvement
@@ -140,9 +140,9 @@ func EpsilonGreedyBestResponse(st *game.State, oracle eq.Oracle, eps float64, rn
 		return Result{}, fmt.Errorf("%w: nil rng", ErrInvalid)
 	}
 	n := st.Game().NumPlayers()
-	view := new(game.RoundView) // filled by Reset at each step
+	view := new(game.RoundView) // filled incrementally by Sync at each step
 	for step := 0; step < maxSteps; step++ {
-		view.Reset(st)
+		view.Sync(st)
 		type cand struct {
 			player int
 			imp    eq.Improvement
@@ -228,9 +228,9 @@ func SequentialImitation(st *game.State, pol Policy, minGain float64, rng *rand.
 	if minGain < 0 {
 		return Result{}, fmt.Errorf("%w: minGain = %v", ErrInvalid, minGain)
 	}
-	view := new(game.RoundView) // filled by Reset at each step
+	view := new(game.RoundView) // filled incrementally by Sync at each step
 	for step := 0; step < maxSteps; step++ {
-		moves := improvingImitations(view.Reset(st), minGain)
+		moves := improvingImitations(view.Sync(st), minGain)
 		if len(moves) == 0 {
 			return Result{Steps: step, Converged: true}, nil
 		}
@@ -353,9 +353,9 @@ func Goldberg(st *game.State, rng *rand.Rand, maxSteps int) (Result, error) {
 	}
 	n := g.NumPlayers()
 	oracle := eq.SingletonOracle{}
-	view := new(game.RoundView) // filled by Reset at each step
+	view := new(game.RoundView) // filled incrementally by Sync at each step
 	for step := 0; step < maxSteps; step++ {
-		if step%n == 0 && eq.IsNash(view.Reset(st), oracle, 0) {
+		if step%n == 0 && eq.IsNash(view.Sync(st), oracle, 0) {
 			return Result{Steps: step, Converged: true}, nil
 		}
 		p := rng.Intn(n)
@@ -376,7 +376,7 @@ func Goldberg(st *game.State, rng *rand.Rand, maxSteps int) (Result, error) {
 			st.Move(p, id)
 		}
 	}
-	if eq.IsNash(view.Reset(st), eq.SingletonOracle{}, 0) {
+	if eq.IsNash(view.Sync(st), eq.SingletonOracle{}, 0) {
 		return Result{Steps: maxSteps, Converged: true}, nil
 	}
 	return Result{Steps: maxSteps, Converged: false}, nil

@@ -1,0 +1,38 @@
+package core
+
+// Allocation-regression tests: the single-worker engine round is a
+// zero-steady-state-allocation path (the bench-gate CI job also pins this
+// via cmd/bench compare, but the tests fail faster and closer to the
+// cause). Warm-up rounds let the reusable buffers (delta moves, entry
+// loads, view tables) reach their high-water marks first.
+
+import (
+	"testing"
+
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+// TestEngineStepZeroAllocsWorkers1 pins the engine's one-worker round at
+// zero allocations per step on the heavy-traffic workload.
+func TestEngineStepZeroAllocsWorkers1(t *testing.T) {
+	inst, err := workload.HeavyTraffic(4096, 32, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(inst.State, im, WithSeed(1), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e.Step() // reach buffer high-water marks
+	}
+	allocs := testing.AllocsPerRun(20, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("engine step at workers=1 allocated %.1f times per round, want 0", allocs)
+	}
+}

@@ -54,17 +54,19 @@ type RoundObserver interface {
 type StopCondition func(v game.Snapshot, r RoundStats) bool
 
 // Engine executes a protocol for all players concurrently, round by round.
-// At the start of every round it builds one immutable game.RoundView (all
-// resource and strategy latencies, precomputed in O(m + Σ|P|)). With more
-// than one worker the whole round is sharded: each worker decides a
-// contiguous range of players against the shared view AND accumulates the
-// resulting migrations into a private game.Delta, and the shards are then
-// merged in shard-index order by game.State.ApplyDeltas (two-phase
-// strategy registration, prefix entry loads, parallel ΔΦ replay). With one
-// worker the engine runs the reference sequential decide/apply loop.
-// Either way, trajectories are bit-identical and deterministic in (seed,
-// protocol, initial state) regardless of the worker count or GOMAXPROCS —
-// see DESIGN.md §3–§4.
+// At the start of every round it refreshes one immutable game.RoundView
+// (all resource and strategy latencies — incrementally via Sync, so only
+// links whose load changed last round re-evaluate their latency
+// functions). Every round is sharded: each worker decides a contiguous
+// range of players against the shared view AND accumulates the resulting
+// migrations into a private game.Delta, and the shards are then merged in
+// shard-index order by game.State.ApplyDeltas (two-phase strategy
+// registration, prefix entry loads, parallel ΔΦ replay). With one worker
+// the single shard is decided and replayed on the calling goroutine —
+// same code path, zero goroutines, zero steady-state allocations.
+// Trajectories are bit-identical and deterministic in (seed, protocol,
+// initial state) regardless of the worker count or GOMAXPROCS — see
+// DESIGN.md §3–§4 and §8.
 type Engine struct {
 	st        *game.State
 	proto     Protocol
@@ -74,7 +76,6 @@ type Engine struct {
 	phi       float64
 	moves     int
 	observers []RoundObserver
-	decisions []Decision // sequential path only, allocated lazily
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
 	deltas    []*game.Delta    // one private migration buffer per worker
@@ -89,9 +90,9 @@ func WithSeed(seed uint64) Option {
 }
 
 // WithWorkers fixes the number of worker goroutines per round (default
-// GOMAXPROCS). One worker selects the sequential reference path; more run
-// the sharded decide+apply round. The trajectory is bit-identical for
-// every worker count.
+// GOMAXPROCS). One worker runs the round's single shard inline on the
+// calling goroutine; more fan the shards out. The trajectory is
+// bit-identical for every worker count.
 func WithWorkers(workers int) Option {
 	return func(e *Engine) {
 		if workers > 0 {
@@ -147,10 +148,11 @@ func (e *Engine) Round() int { return e.round }
 func (e *Engine) Potential() float64 { return e.phi }
 
 // Snapshot refreshes the engine's reusable RoundView from the current
-// state and returns it. The returned view is valid until the next Step,
-// Snapshot, or direct state mutation.
+// state (incrementally — only entries stale since the last refresh are
+// recomputed) and returns it. The returned view is valid until the next
+// Step, Snapshot, or direct state mutation.
 func (e *Engine) Snapshot() *game.RoundView {
-	return e.view.Reset(e.st)
+	return e.view.Sync(e.st)
 }
 
 // lazySnapshot defers the RoundView rebuild until a stop condition
@@ -167,7 +169,7 @@ var _ game.Snapshot = (*lazySnapshot)(nil)
 
 func (l *lazySnapshot) view() *game.RoundView {
 	if l.stale {
-		l.e.view.Reset(l.e.st)
+		l.e.view.Sync(l.e.st)
 		l.stale = false
 	}
 	return l.e.view
@@ -212,25 +214,33 @@ func (e *Engine) delta(w int) *game.Delta {
 	return e.deltas[w].Reset(e.st)
 }
 
-// Step executes one concurrent round: the round-start snapshot is built
-// once, every player decides against it in parallel, and the migrations
-// are applied — sequentially with one worker, via the sharded delta merge
-// otherwise. Both paths produce bit-identical trajectories.
+// Step executes one concurrent round: the round-start snapshot is
+// refreshed once (incrementally — only links whose load changed last
+// round re-evaluate their latency functions), every player decides
+// against it, and the migrations are merged by the sharded delta apply.
+// One worker runs the single shard inline on the calling goroutine with
+// zero steady-state allocations; any worker count produces bit-identical
+// trajectories. The true sequential reference (player-by-player
+// State.Move) lives in package game, where differential tests pin
+// ApplyDeltas against it.
 func (e *Engine) Step() RoundStats {
 	n := e.st.Game().NumPlayers()
 
-	// One immutable RoundView shared by all workers — the O(m) precompute
-	// replaces O(n·|S|·|P|) latency-function dispatches. Each worker reuses
-	// one stream object, re-seeded per player, so decisions are identical
-	// to fresh prng.Stream draws without per-player allocations.
-	view := e.view.Reset(e.st)
+	// One immutable RoundView shared by all workers — the incremental
+	// refresh replaces O(n·|S|·|P|) latency-function dispatches. Each
+	// worker reuses one stream object, re-seeded per player, so decisions
+	// are identical to fresh prng.Stream draws without per-player
+	// allocations.
+	view := e.view.Sync(e.st)
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
 	var movers, newStrategies int
 	if workers <= 1 {
-		movers, newStrategies = e.stepSequential(view, n)
+		d := e.delta(0)
+		e.decideShard(view, 0, n, d, e.stream(0))
+		e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:1], 1)
 	} else {
 		movers, newStrategies = e.stepSharded(view, n, workers)
 	}
@@ -251,43 +261,21 @@ func (e *Engine) Step() RoundStats {
 	return stats
 }
 
-// stepSequential is the single-worker reference round: decide every player
-// on the calling goroutine, then apply migrations in player order,
-// registering newly discovered strategies on first encounter.
-func (e *Engine) stepSequential(view *game.RoundView, n int) (movers, newStrategies int) {
-	if e.decisions == nil {
-		e.decisions = make([]Decision, n)
-	}
-	stream := e.stream(0)
-	for p := 0; p < n; p++ {
-		e.decisions[p] = e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
-	}
-	for p := 0; p < n; p++ {
-		d := e.decisions[p]
-		if !d.Move {
+// decideShard decides players [lo, hi) against the shared round-start
+// view and records the resulting migrations into the shard's private
+// delta. It runs on the calling goroutine; stepSharded fans it out.
+func (e *Engine) decideShard(view *game.RoundView, lo, hi int, d *game.Delta, stream *prng.Reusable) {
+	for p := lo; p < hi; p++ {
+		dec := e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
+		if !dec.Move {
 			continue
 		}
-		to := d.To
-		if d.NewStrategy != nil {
-			id, isNew, err := e.st.Game().RegisterStrategy(d.NewStrategy)
-			if err != nil {
-				// Samplers produce valid strategies by construction; an
-				// error here is a programming bug, not an input error.
-				panic(fmt.Sprintf("core: sampled strategy failed to register: %v", err))
-			}
-			if isNew {
-				newStrategies++
-				e.st.EnsureStrategies()
-			}
-			to = id
+		if dec.NewStrategy != nil {
+			d.RecordNewStrategy(p, dec.NewStrategy)
+		} else {
+			d.RecordMove(p, dec.To)
 		}
-		if to == e.st.Assign(p) {
-			continue
-		}
-		e.phi += e.st.Move(p, to)
-		movers++
 	}
-	return movers, newStrategies
 }
 
 // stepSharded is the fully parallel round: each worker decides a
@@ -295,7 +283,7 @@ func (e *Engine) stepSequential(view *game.RoundView, n int) (movers, newStrateg
 // resulting migrations into its private game.Delta in the same pass; the
 // shards are then merged in shard-index order by State.ApplyDeltas. Shard
 // boundaries never influence the trajectory (see ApplyDeltas), so any
-// worker count reproduces the sequential path bit-for-bit.
+// worker count reproduces the single-shard round bit-for-bit.
 func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newStrategies int) {
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -314,17 +302,7 @@ func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newS
 		wg.Add(1)
 		go func(lo, hi int, d *game.Delta, stream *prng.Reusable) {
 			defer wg.Done()
-			for p := lo; p < hi; p++ {
-				dec := e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
-				if !dec.Move {
-					continue
-				}
-				if dec.NewStrategy != nil {
-					d.RecordNewStrategy(p, dec.NewStrategy)
-				} else {
-					d.RecordMove(p, dec.To)
-				}
-			}
+			e.decideShard(view, lo, hi, d, stream)
 		}(lo, hi, d, e.stream(w))
 	}
 	wg.Wait()

@@ -135,10 +135,9 @@ func (im *Imitation) Name() string { return "imitation" }
 
 // Decide implements Protocol.
 func (im *Imitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
-	members := im.g.ClassMembers(im.g.ClassOf(player))
-	sampled := members[rng.Intn(len(members))]
+	sampled := im.g.SamplePeer(player, rng)
 	from := view.Assign(player)
-	to := view.Assign(int(sampled))
+	to := view.Assign(sampled)
 	if from == to {
 		return stay
 	}
@@ -452,10 +451,9 @@ func (u *UndampedImitation) Name() string { return "imitation-undamped" }
 
 // Decide implements Protocol.
 func (u *UndampedImitation) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
-	members := u.g.ClassMembers(u.g.ClassOf(player))
-	sampled := members[rng.Intn(len(members))]
+	sampled := u.g.SamplePeer(player, rng)
 	from := view.Assign(player)
-	to := view.Assign(int(sampled))
+	to := view.Assign(sampled)
 	if from == to {
 		return stay
 	}

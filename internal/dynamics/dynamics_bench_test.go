@@ -1,0 +1,52 @@
+package dynamics
+
+// Adapter-overhead benchmarks: a round stepped through the Dynamics
+// interface versus directly on the engine must cost the same (the
+// adapters are transparent). The CI race job runs this file as its
+// dynamics-path bench smoke.
+
+import (
+	"testing"
+
+	"congame/internal/core"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+func benchEngine(b *testing.B, n int) *core.Engine {
+	b.Helper()
+	inst, err := workload.LinearSingletons(16, n, 4, prng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEngine(inst.State, im, core.WithSeed(9), core.WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkAdapterStep steps a round through the FromEngine adapter.
+func BenchmarkAdapterStep(b *testing.B) {
+	dyn := FromEngine(benchEngine(b, 4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.Step()
+	}
+}
+
+// BenchmarkDirectStep steps the same round directly on the engine — the
+// baseline the adapter is compared against.
+func BenchmarkDirectStep(b *testing.B) {
+	e := benchEngine(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

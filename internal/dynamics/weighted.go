@@ -14,9 +14,12 @@ import (
 // pair as the engine's own Run(maxRounds, eps).
 type Weighted struct {
 	e *weighted.Engine
-	// linear caches whether the game admits the exact weighted linear
-	// potential; non-linear games report NaN potentials.
-	linear bool
+	// slopes caches the per-link slopes of the exact weighted linear
+	// potential, extracted once at wrap time (the game is immutable); nil
+	// when some latency is non-linear, in which case potentials report
+	// NaN. Caching kills the per-round type-switch fold and allocation
+	// LinearPotential would otherwise pay inside every Step.
+	slopes []float64
 	obs    []core.RoundObserver
 }
 
@@ -34,8 +37,11 @@ func (a *Weighted) SetObserver(obs core.RoundObserver) {
 
 // FromWeighted wraps a weighted engine.
 func FromWeighted(e *weighted.Engine) *Weighted {
-	_, err := e.State().LinearPotential()
-	return &Weighted{e: e, linear: err == nil}
+	slopes, err := e.State().Game().LinearSlopes()
+	if err != nil {
+		slopes = nil
+	}
+	return &Weighted{e: e, slopes: slopes}
 }
 
 // Engine returns the wrapped engine.
@@ -47,18 +53,14 @@ func (a *Weighted) State() *weighted.State { return a.e.State() }
 // Round returns the number of completed rounds.
 func (a *Weighted) Round() int { return a.e.Round() }
 
-// Potential returns the exact weighted linear potential, or NaN when some
-// link latency is non-linear (the weighted family has no general exact
-// potential).
+// Potential returns the exact weighted linear potential (folded from the
+// slopes cached at wrap time), or NaN when some link latency is non-linear
+// (the weighted family has no general exact potential).
 func (a *Weighted) Potential() float64 {
-	if !a.linear {
+	if a.slopes == nil {
 		return math.NaN()
 	}
-	phi, err := a.e.State().LinearPotential()
-	if err != nil {
-		return math.NaN()
-	}
-	return phi
+	return a.e.State().LinearPotentialWith(a.slopes)
 }
 
 // Step executes one concurrent weighted round. NewStrategies is always 0

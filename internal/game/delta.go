@@ -31,6 +31,10 @@ type deltaMove struct {
 //     with the game, deduplicated within the shard, in first-proposer
 //     order.
 //
+// Within-shard dedupe reuses the integer-hash interning scheme of the
+// game's strategy table (a small open-addressing table over newStrats) —
+// no string keys anywhere on the record path.
+//
 // A Delta is not safe for concurrent use; the engine gives each worker its
 // own. Between Reset and ApplyDeltas the underlying state and game must
 // not mutate.
@@ -39,12 +43,12 @@ type Delta struct {
 	g  *Game
 
 	moves     []deltaMove
-	loadDelta []int64   // resource -> net load change from this shard
-	newStrats [][]int32 // canonical resource lists, first-proposer order
-	newKeys   map[string]int32
-	newIDs    []int32   // filled by ApplyDeltas during registration
-	dphi      []float64 // per-move ΔΦ, filled by replay
-	entry     []int64   // scratch: loads at this shard's sequential entry point
+	loadDelta []int64      // resource -> net load change from this shard
+	newStrats [][]int32    // canonical resource lists, first-proposer order
+	newTab    []internSlot // open-addressing dedupe over newStrats
+	newIDs    []int32      // filled by ApplyDeltas during registration
+	dphi      []float64    // per-move ΔΦ, filled by replay
+	entry     []int64      // scratch: loads at this shard's sequential entry point
 }
 
 // NewDelta returns a Delta bound to the given round-start state.
@@ -56,13 +60,11 @@ func NewDelta(st *State) *Delta {
 // reusing all backing storage.
 func (d *Delta) Reset(st *State) *Delta {
 	d.st, d.g = st, st.g
+	if len(d.newStrats) > 0 {
+		clear(d.newTab)
+	}
 	d.moves = d.moves[:0]
 	d.newStrats = d.newStrats[:0]
-	if d.newKeys == nil {
-		d.newKeys = make(map[string]int32)
-	} else {
-		clear(d.newKeys)
-	}
 	m := len(d.g.resources)
 	d.loadDelta = grow(d.loadDelta, m)
 	for e := range d.loadDelta {
@@ -83,7 +85,7 @@ func (d *Delta) RecordMove(p, to int) {
 		return
 	}
 	d.moves = append(d.moves, deltaMove{player: int32(p), from: from, to: int32(to)})
-	d.bumpLoads(from, d.g.strategies[to])
+	d.bumpLoads(from, d.g.strat(to))
 }
 
 // RecordNewStrategy records that player p migrates to a freshly sampled
@@ -100,27 +102,48 @@ func (d *Delta) RecordNewStrategy(p int, resources []int) {
 	if err != nil {
 		panic(fmt.Sprintf("game: sampled strategy failed to canonicalize: %v", err))
 	}
-	key := strategyKey(s)
+	hash := hashResources(s)
 	// The registry is frozen during the record phase (registration happens
-	// only inside ApplyDeltas), so this concurrent read is safe.
-	if id, ok := d.g.stratKeys[key]; ok {
-		d.RecordMove(p, id)
+	// only inside ApplyDeltas), so this concurrent probe is safe.
+	if id := d.g.lookupHash(s, hash); id >= 0 {
+		d.RecordMove(p, int(id))
 		return
 	}
-	idx, ok := d.newKeys[key]
-	if !ok {
-		idx = int32(len(d.newStrats))
-		d.newStrats = append(d.newStrats, s)
-		d.newKeys[key] = idx
-	}
+	idx := d.internNew(s, hash)
 	from := d.st.assign[p]
 	d.moves = append(d.moves, deltaMove{player: int32(p), from: from, to: ^idx})
 	d.bumpLoads(from, s)
 }
 
+// internNew dedupes a canonical strategy within the shard and returns its
+// proposal index, appending it to newStrats on first sight. The probe is
+// written out (rather than shared with Game.lookupHash) because its
+// equality source is the shard's newStrats, and a closure-parameterized
+// probe would allocate on this hot path; growth is shared (growSlots).
+func (d *Delta) internNew(s []int32, hash uint64) int32 {
+	if 4*(len(d.newStrats)+1) > 3*len(d.newTab) {
+		d.newTab = growSlots(d.newTab)
+	}
+	mask := uint64(len(d.newTab) - 1)
+	i := hash & mask
+	for {
+		slot := d.newTab[i]
+		if slot.id == 0 {
+			idx := int32(len(d.newStrats))
+			d.newStrats = append(d.newStrats, s)
+			d.newTab[i] = internSlot{hash: hash, id: idx + 1}
+			return idx
+		}
+		if slot.hash == hash && equalResources(d.newStrats[slot.id-1], s) {
+			return slot.id - 1
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // bumpLoads applies one migration's ±1 load changes to the shard delta.
 func (d *Delta) bumpLoads(from int32, toRes []int32) {
-	for _, e := range d.g.strategies[from] {
+	for _, e := range d.g.strat(int(from)) {
 		d.loadDelta[e]--
 	}
 	for _, e := range toRes {
@@ -167,6 +190,10 @@ func (d *Delta) replay() {
 //     player order, matching the sequential loop's float accumulation
 //     order exactly (phi is taken and returned rather than a lump ΔΦ so
 //     the caller cannot accidentally change that fold order).
+//
+// The commit also stamps every resource whose load it updates with a fresh
+// mutation epoch, which is the dirty set RoundView.Sync consumes for
+// incremental snapshot maintenance.
 //
 // workers bounds the number of goroutines used for step 3; values ≤ 1 run
 // the replay on the calling goroutine.
@@ -228,6 +255,7 @@ func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi 
 
 	// 4. Commit: fold ΔΦ in shard × player order (the sequential order) and
 	// apply the integer bookkeeping, which is order-independent.
+	st.mutEpoch++
 	for _, d := range deltas {
 		for i := range d.moves {
 			mv := &d.moves[i]
@@ -240,6 +268,7 @@ func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi 
 		for e, dl := range d.loadDelta {
 			if dl != 0 {
 				st.load[e] += dl
+				st.resEpoch[e] = st.mutEpoch
 			}
 		}
 	}

@@ -21,9 +21,7 @@ package game
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
+	"math/rand"
 
 	"congame/internal/latency"
 )
@@ -54,11 +52,18 @@ type Resource struct {
 type Game struct {
 	name      string
 	resources []Resource
+	fns       []latency.Function // resources[e].Latency, flat for the hot loops
 	n         int
 
-	strategies [][]int32      // interned sorted resource lists
-	stratKeys  map[string]int // dedupe key -> strategy id
-	stratNu    []float64      // ν_P per strategy
+	// Interned strategies in a flat CSR (compressed sparse row) layout:
+	// strategy s occupies stratRes[stratOff[s]:stratOff[s+1]]. The intern
+	// table dedupes by integer hashing — no string keys anywhere.
+	stratOff     []int32
+	stratRes     []int32
+	stratTab     internTable
+	stratNu      []float64 // ν_P per strategy
+	resStrats    [][]int32 // resource -> strategies containing it, ascending
+	allSingleton bool      // every registered strategy has exactly one resource
 
 	classOf      []int32 // player -> class (all zero for symmetric games)
 	classMembers [][]int32
@@ -108,10 +113,12 @@ func New(cfg Config) (*Game, error) {
 	}
 
 	g := &Game{
-		name:      cfg.Name,
-		resources: append([]Resource(nil), cfg.Resources...),
-		n:         cfg.Players,
-		stratKeys: make(map[string]int, len(cfg.Strategies)),
+		name:         cfg.Name,
+		resources:    append([]Resource(nil), cfg.Resources...),
+		n:            cfg.Players,
+		stratOff:     make([]int32, 1, len(cfg.Strategies)+1),
+		resStrats:    make([][]int32, len(cfg.Resources)),
+		allSingleton: true,
 	}
 
 	if err := g.initClasses(cfg.ClassOf); err != nil {
@@ -122,6 +129,7 @@ func New(cfg Config) (*Game, error) {
 	for i, r := range g.resources {
 		fns[i] = r.Latency
 	}
+	g.fns = fns
 	if cfg.Elasticity > 0 {
 		g.elasticity = cfg.Elasticity
 	} else {
@@ -212,7 +220,7 @@ func (g *Game) canonicalStrategy(resources []int) ([]int32, error) {
 		}
 		s[i] = int32(r)
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	sortInt32(s)
 	for i := 1; i < len(s); i++ {
 		if s[i] == s[i-1] {
 			return nil, fmt.Errorf("%w: strategy contains resource %d twice", ErrInvalid, s[i])
@@ -221,34 +229,63 @@ func (g *Game) canonicalStrategy(resources []int) ([]int32, error) {
 	return s, nil
 }
 
-// registerCanonical interns an already-canonical strategy. The slice is
-// retained when the strategy is new, so callers must not modify it
-// afterwards.
-func (g *Game) registerCanonical(s []int32) (id int, isNew bool) {
-	key := strategyKey(s)
-	if id, ok := g.stratKeys[key]; ok {
-		return id, false
+// strat returns strategy s's interned, sorted resource list from the CSR
+// arrays. The three-index slice keeps callers from appending into a
+// neighbouring strategy.
+func (g *Game) strat(s int) []int32 {
+	lo, hi := g.stratOff[s], g.stratOff[s+1]
+	return g.stratRes[lo:hi:hi]
+}
+
+// lookupCanonical returns the id of an already-canonical strategy, or -1.
+// It is a pure table probe — safe for concurrent readers while the
+// registry is frozen (the decide-phase contract).
+func (g *Game) lookupCanonical(s []int32) int32 {
+	return g.lookupHash(s, hashResources(s))
+}
+
+// lookupHash probes the intern table for a canonical strategy whose hash
+// was already computed. Misses usually terminate on an empty slot or a
+// single integer compare; only a full 64-bit hash match pays for the
+// element-wise comparison against the CSR arrays.
+func (g *Game) lookupHash(s []int32, hash uint64) int32 {
+	slots := g.stratTab.slots
+	if len(slots) == 0 {
+		return -1
 	}
-	id = len(g.strategies)
-	g.strategies = append(g.strategies, s)
-	g.stratKeys[key] = id
+	mask := uint64(len(slots) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		slot := slots[i]
+		if slot.id == 0 {
+			return -1
+		}
+		if slot.hash == hash && equalResources(g.strat(int(slot.id-1)), s) {
+			return slot.id - 1
+		}
+	}
+}
+
+// registerCanonical interns an already-canonical strategy by copying it
+// into the CSR arrays; the caller keeps ownership of the input slice.
+func (g *Game) registerCanonical(s []int32) (id int, isNew bool) {
+	hash := hashResources(s)
+	if got := g.lookupHash(s, hash); got >= 0 {
+		return int(got), false
+	}
+	id = g.NumStrategies()
+	g.stratRes = append(g.stratRes, s...)
+	g.stratOff = append(g.stratOff, int32(len(g.stratRes)))
+	g.stratTab.insert(int32(id), hash)
+	if len(s) != 1 {
+		g.allSingleton = false
+	}
 	nu := 0.0
 	for _, e := range s {
-		nu += latency.SlopeBound(g.resources[e].Latency, g.slopeLoad)
+		nu += latency.SlopeBound(g.fns[e], g.slopeLoad)
+		g.resStrats[e] = append(g.resStrats[e], int32(id))
 	}
 	g.stratNu = append(g.stratNu, nu)
 	return id, true
-}
-
-func strategyKey(s []int32) string {
-	var b strings.Builder
-	for i, r := range s {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(int(r)))
-	}
-	return b.String()
 }
 
 // Name returns the game's label.
@@ -261,14 +298,14 @@ func (g *Game) NumPlayers() int { return g.n }
 func (g *Game) NumResources() int { return len(g.resources) }
 
 // NumStrategies returns the number of registered strategies.
-func (g *Game) NumStrategies() int { return len(g.strategies) }
+func (g *Game) NumStrategies() int { return len(g.stratOff) - 1 }
 
 // Resource returns the resource with the given index.
 func (g *Game) Resource(e int) Resource { return g.resources[e] }
 
 // Strategy returns a copy of the resource list of the given strategy.
 func (g *Game) Strategy(s int) []int {
-	view := g.strategies[s]
+	view := g.strat(s)
 	out := make([]int, len(view))
 	for i, r := range view {
 		out[i] = int(r)
@@ -278,25 +315,48 @@ func (g *Game) Strategy(s int) []int {
 
 // StrategyView returns the interned, sorted resource list of the given
 // strategy. Callers must not modify the returned slice.
-func (g *Game) StrategyView(s int) []int32 { return g.strategies[s] }
+func (g *Game) StrategyView(s int) []int32 { return g.strat(s) }
 
 // LookupStrategy returns the ID of an already-registered strategy, or
 // (-1, false) if the given resource set is not registered. The input need
-// not be sorted.
+// not be sorted. Strategies short enough for the stack buffer (all
+// network paths and singleton moves in practice) are looked up without
+// allocating.
 func (g *Game) LookupStrategy(resources []int) (int, bool) {
-	s := make([]int32, len(resources))
+	var buf [64]int32
+	var s []int32
+	if len(resources) <= len(buf) {
+		s = buf[:len(resources)]
+	} else {
+		s = make([]int32, len(resources))
+	}
 	for i, r := range resources {
 		if r < 0 || r >= len(g.resources) {
 			return -1, false
 		}
 		s[i] = int32(r)
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	id, ok := g.stratKeys[strategyKey(s)]
-	if !ok {
+	sortInt32(s)
+	id := g.lookupCanonical(s)
+	if id < 0 {
 		return -1, false
 	}
-	return id, true
+	return int(id), true
+}
+
+// sortInt32 sorts a small resource list in place: insertion sort, which
+// beats sort.Slice's interface machinery at strategy sizes and does not
+// allocate.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // Elasticity returns the protocol damping bound d ≥ 1.
@@ -347,10 +407,10 @@ func (g *Game) MaxSlope() float64 {
 // over registered strategies: every resource at full congestion n.
 func (g *Game) MaxStrategyLatency() float64 {
 	best := 0.0
-	for _, s := range g.strategies {
+	for s := 0; s < g.NumStrategies(); s++ {
 		sum := 0.0
-		for _, e := range s {
-			sum += g.resources[e].Latency.Value(float64(g.n))
+		for _, e := range g.strat(s) {
+			sum += g.fns[e].Value(float64(g.n))
 		}
 		if sum > best {
 			best = sum
@@ -369,13 +429,21 @@ func (g *Game) ClassOf(p int) int { return int(g.classOf[p]) }
 // modify the returned slice.
 func (g *Game) ClassMembers(c int) []int32 { return g.classMembers[c] }
 
+// SamplePeer draws a player uniformly from the given player's class —
+// the imitation protocols' peer-sampling step. Symmetric games skip the
+// member-table read: their single class's member list is the identity
+// permutation by construction (initClasses), so the drawn index IS the
+// sampled player and the draw sequence is bit-identical to
+// members[rng.Intn(len(members))] without the guaranteed cache miss of
+// reading a 4n-byte table at scale.
+func (g *Game) SamplePeer(player int, rng *rand.Rand) int {
+	if g.numClasses == 1 {
+		return rng.Intn(g.n)
+	}
+	members := g.classMembers[g.classOf[player]]
+	return int(members[rng.Intn(len(members))])
+}
+
 // IsSingleton reports whether every registered strategy consists of exactly
 // one resource (the parallel-links games of Section 5).
-func (g *Game) IsSingleton() bool {
-	for _, s := range g.strategies {
-		if len(s) != 1 {
-			return false
-		}
-	}
-	return true
-}
+func (g *Game) IsSingleton() bool { return g.allSingleton }

@@ -1,0 +1,95 @@
+package game
+
+// Strategy interning without string keys: canonical resource lists hash
+// directly as integer sequences into an open-addressing table, so the hot
+// dedupe paths (exploration's decide-time lookup, Delta's record-phase
+// dedupe, registration during the apply phase) never build a string or
+// touch a Go map. Slots store the full 64-bit hash next to the strategy
+// id, so misses usually fail on one integer compare and growth reinserts
+// without rehashing strategy content.
+
+// internSlot is one open-addressing slot. id holds strategy id + 1 so the
+// zero value means empty.
+type internSlot struct {
+	hash uint64
+	id   int32
+}
+
+// internTable is an open-addressing hash table over canonical strategies.
+// The table stores only ids; strategy content lives in the game's flat CSR
+// arrays, which the probe loops compare against.
+type internTable struct {
+	slots []internSlot // len is a power of two
+	used  int
+}
+
+// mix64 is the SplitMix64 finalizer, the same mixing primitive package
+// prng uses for stream derivation.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashResources hashes a canonical (sorted) resource list. Equal lists
+// hash equal; the length is absorbed so a prefix never aliases its
+// extension.
+func hashResources(s []int32) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) + uint64(len(s))
+	for _, r := range s {
+		h = mix64(h + uint64(uint32(r)))
+	}
+	return h
+}
+
+// equalResources reports element-wise equality of two resource lists.
+func equalResources(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insert records id under the given hash. The caller must have verified
+// the strategy is absent (lookup returned -1).
+func (t *internTable) insert(id int32, hash uint64) {
+	if 4*(t.used+1) > 3*len(t.slots) {
+		t.slots = growSlots(t.slots)
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hash & mask
+	for t.slots[i].id != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = internSlot{hash: hash, id: id + 1}
+	t.used++
+}
+
+// growSlots doubles a slot array (16 minimum) and reinserts every entry
+// by its stored hash. Shared by the game's intern table and the Delta's
+// shard-local dedupe table, so the probe/growth invariants cannot
+// diverge.
+func growSlots(old []internSlot) []internSlot {
+	size := 2 * len(old)
+	if size < 16 {
+		size = 16
+	}
+	slots := make([]internSlot, size)
+	mask := uint64(size - 1)
+	for _, slot := range old {
+		if slot.id == 0 {
+			continue
+		}
+		i := slot.hash & mask
+		for slots[i].id != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = slot
+	}
+	return slots
+}

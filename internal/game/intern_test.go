@@ -1,0 +1,182 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// internGame builds a game with many resources and one seed strategy, so
+// tests can register freely.
+func internGame(t testing.TB, m int) *Game {
+	t.Helper()
+	resources := make([]Resource, m)
+	for e := range resources {
+		f, err := latency.NewAffine(1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[e] = Resource{Latency: f}
+	}
+	g, err := New(Config{Resources: resources, Players: 4, Strategies: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestInternTableMatchesNaiveMap registers a few thousand random resource
+// sets (with duplicates) and cross-checks every id against a naive
+// string-keyed map — the dedupe semantics the integer-hash table replaced.
+func TestInternTableMatchesNaiveMap(t *testing.T) {
+	const m = 50
+	g := internGame(t, m)
+	naive := map[string]int{fmt.Sprint([]int{0}): 0}
+	rng := prng.New(23)
+	for i := 0; i < 4000; i++ {
+		size := 1 + rng.Intn(4)
+		set := rng.Perm(m)[:size]
+		id, isNew, err := g.RegisterStrategy(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := append([]int(nil), set...)
+		sortInts(canon)
+		key := fmt.Sprint(canon)
+		want, seen := naive[key]
+		if seen != !isNew {
+			t.Fatalf("set %v: isNew = %v, naive map seen = %v", set, isNew, seen)
+		}
+		if seen && id != want {
+			t.Fatalf("set %v: id = %d, naive map says %d", set, id, want)
+		}
+		if !seen {
+			naive[key] = id
+		}
+		// The table must also find it through the public lookup.
+		got, ok := g.LookupStrategy(set)
+		if !ok || got != id {
+			t.Fatalf("LookupStrategy(%v) = (%d, %v), want (%d, true)", set, got, ok, id)
+		}
+	}
+	if g.NumStrategies() != len(naive) {
+		t.Fatalf("NumStrategies = %d, naive map has %d", g.NumStrategies(), len(naive))
+	}
+	// Every registered strategy resolves back to its own id.
+	for s := 0; s < g.NumStrategies(); s++ {
+		got, ok := g.LookupStrategy(g.Strategy(s))
+		if !ok || got != s {
+			t.Fatalf("round trip of strategy %d: got (%d, %v)", s, got, ok)
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// TestLookupStrategyZeroAlloc pins the decide-phase lookup at zero
+// allocations: exploration calls it once per candidate decision, so an
+// allocation here multiplies by n×rounds.
+func TestLookupStrategyZeroAlloc(t *testing.T) {
+	g := internGame(t, 30)
+	if _, _, err := g.RegisterStrategy([]int{3, 7, 11}); err != nil {
+		t.Fatal(err)
+	}
+	hit := []int{11, 3, 7} // unsorted on purpose
+	miss := []int{2, 9, 14}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := g.LookupStrategy(hit); !ok {
+			t.Fatal("lookup of registered strategy missed")
+		}
+		if _, ok := g.LookupStrategy(miss); ok {
+			t.Fatal("lookup of unregistered strategy hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupStrategy allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDeltaDedupeNewStrategies checks the shard-local mini intern table:
+// the same fresh set recorded twice yields one proposal, and proposals
+// keep first-proposer order.
+func TestDeltaDedupeNewStrategies(t *testing.T) {
+	g := internGame(t, 20)
+	st, err := NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(st)
+	d.RecordNewStrategy(0, []int{1, 2})
+	d.RecordNewStrategy(1, []int{2, 1}) // same canonical set
+	d.RecordNewStrategy(2, []int{3})
+	d.RecordNewStrategy(3, []int{1, 2})
+	if len(d.newStrats) != 2 {
+		t.Fatalf("shard proposed %d strategies, want 2", len(d.newStrats))
+	}
+	phi, movers, fresh := st.ApplyDeltas(st.Potential(), []*Delta{d}, 1)
+	if movers != 4 || fresh != 2 {
+		t.Fatalf("ApplyDeltas = (movers %d, new %d), want (4, 2)", movers, fresh)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Potential(); !closeEnough(got, phi) {
+		t.Fatalf("incremental potential %v, recomputed %v", phi, got)
+	}
+	// First-proposer order: {1,2} before {3}.
+	id12, ok12 := g.LookupStrategy([]int{1, 2})
+	id3, ok3 := g.LookupStrategy([]int{3})
+	if !ok12 || !ok3 || id12 >= id3 {
+		t.Fatalf("registration order: {1,2}=%d(%v) {3}=%d(%v), want first-proposer order", id12, ok12, id3, ok3)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-9*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestInternTableGrowth registers enough strategies to force several table
+// growths and re-verifies every lookup afterwards.
+func TestInternTableGrowth(t *testing.T) {
+	const m = 200
+	g := internGame(t, m)
+	rng := rand.New(rand.NewSource(5))
+	var sets [][]int
+	for i := 0; i < 300; i++ {
+		set := rng.Perm(m)[:1+rng.Intn(3)]
+		if _, isNew, err := g.RegisterStrategy(set); err != nil {
+			t.Fatal(err)
+		} else if isNew {
+			sets = append(sets, set)
+		}
+	}
+	for _, set := range sets {
+		if _, ok := g.LookupStrategy(set); !ok {
+			t.Fatalf("strategy %v lost after growth", set)
+		}
+	}
+}

@@ -10,7 +10,7 @@ package game
 func (st *State) Potential() float64 {
 	phi := 0.0
 	for e, x := range st.load {
-		f := st.g.resources[e].Latency
+		f := st.g.fns[e]
 		for i := int64(1); i <= x; i++ {
 			phi += f.Value(float64(i))
 		}
@@ -25,7 +25,7 @@ func (st *State) AvgLatency() float64 {
 	sum := 0.0
 	for e, x := range st.load {
 		if x > 0 {
-			sum += float64(x) * st.g.resources[e].Latency.Value(float64(x))
+			sum += float64(x) * st.g.fns[e].Value(float64(x))
 		}
 	}
 	return sum / float64(st.g.n)

@@ -8,9 +8,10 @@ package game
 //   - *State evaluates every query directly through the latency functions.
 //     It is the reference implementation: always correct, never stale.
 //   - *RoundView answers the same queries from per-round tables computed
-//     once in O(m + Σ|P|), turning strategy-latency queries into O(1)
-//     lookups and switch-latency queries into lookup sums with a
-//     shared-resource correction — no latency-function dispatch at all.
+//     once in O(m + Σ|P|) — or incrementally maintained in O(dirty) via
+//     Sync — turning strategy-latency queries into O(1) lookups and
+//     switch-latency queries into lookup sums with a shared-resource
+//     correction — no latency-function dispatch at all.
 //
 // Both implementations return bit-identical values for every method: the
 // cached tables hold exactly the values the direct implementation would
@@ -55,11 +56,13 @@ var (
 )
 
 // RoundView is an immutable per-round latency snapshot of a State. The
-// simulation engine builds one view per round (the round-start state the
-// paper's protocols evaluate their migration decisions against) and hands
-// it to all decision goroutines; sequential dynamics rebuild one per step.
+// simulation engine refreshes one view per round (the round-start state
+// the paper's protocols evaluate their migration decisions against) and
+// hands it to all decision goroutines; sequential dynamics refresh one per
+// step.
 //
-// The view caches
+// The view caches, in flat struct-of-arrays tables sized once and reused
+// across rounds,
 //
 //	lat[e]      = ℓ_e(x_e)          latPlus[e] = ℓ_e(x_e + 1)
 //	stratLat[s] = Σ_{e∈s} lat[e]    joinLat[s] = Σ_{e∈s} latPlus[e]
@@ -68,9 +71,17 @@ var (
 // a merge over the two sorted resource lists picking lat[e] for shared
 // resources (where +1 and −1 cancel) and latPlus[e] otherwise.
 //
+// Two refresh paths exist with one result: Reset rebuilds every table
+// entry from scratch (the reference), while Sync consults the state's
+// per-resource mutation epochs to recompute only the resources whose load
+// changed since the last refresh and, through the game's reverse
+// resource→strategy index, only the strategy sums those resources touch.
+// Both produce bit-identical tables (pinned by the differential tests in
+// roundview_incremental_test.go; determinism argument in DESIGN.md §8).
+//
 // A view is valid until the underlying state or game mutates (Move,
-// RegisterStrategy); after that it must be Reset before further use. It is
-// safe for concurrent readers.
+// RegisterStrategy); after that it must be Reset or Sync'd before further
+// use. It is safe for concurrent readers.
 type RoundView struct {
 	st *State
 	g  *Game
@@ -79,6 +90,13 @@ type RoundView struct {
 	latPlus  []float64 // resource -> ℓ_e(x_e + 1)
 	stratLat []float64 // strategy -> Σ lat[e]
 	joinLat  []float64 // strategy -> Σ latPlus[e]
+
+	// Incremental-maintenance bookkeeping (see Sync).
+	synced    bool
+	syncEpoch uint64   // st.mutEpoch at the last refresh
+	dirty     []int32  // scratch: resources refreshed this Sync
+	seen      []uint32 // scratch: strategy -> last seenGen it was recomputed
+	seenGen   uint32
 }
 
 // NewRoundView allocates a view and fills it from the given state.
@@ -86,9 +104,11 @@ func NewRoundView(st *State) *RoundView {
 	return new(RoundView).Reset(st)
 }
 
-// Reset refills the view from the state's current loads, reusing the
-// backing arrays. It costs O(m) latency evaluations plus O(Σ|P|) additions
-// and returns the view for chaining.
+// Reset refills the view from the state's current loads, rebuilding every
+// table entry. It costs O(m) latency evaluations plus O(Σ|P|) additions
+// and returns the view for chaining. Sync is the incremental equivalent;
+// Reset is kept as the full-rebuild reference the differential tests
+// compare against.
 func (v *RoundView) Reset(st *State) *RoundView {
 	g := st.g
 	v.st, v.g = st, g
@@ -96,23 +116,106 @@ func (v *RoundView) Reset(st *State) *RoundView {
 	v.lat = grow(v.lat, m)
 	v.latPlus = grow(v.latPlus, m)
 	for e := 0; e < m; e++ {
-		f := g.resources[e].Latency
+		f := g.fns[e]
 		x := float64(st.load[e])
 		v.lat[e] = f.Value(x)
 		v.latPlus[e] = f.Value(x + 1)
 	}
-	k := len(g.strategies)
+	k := g.NumStrategies()
 	v.stratLat = grow(v.stratLat, k)
 	v.joinLat = grow(v.joinLat, k)
-	for s, res := range g.strategies {
-		sum, sumPlus := 0.0, 0.0
-		for _, e := range res {
-			sum += v.lat[e]
-			sumPlus += v.latPlus[e]
-		}
-		v.stratLat[s] = sum
-		v.joinLat[s] = sumPlus
+	for s := 0; s < k; s++ {
+		v.refillStrategy(s)
 	}
+	v.synced = true
+	v.syncEpoch = st.mutEpoch
+	return v
+}
+
+// refillStrategy recomputes one strategy's cached sums from the
+// per-resource tables, accumulating in CSR (ascending resource) order —
+// the same order Reset uses, so incremental refreshes are bit-identical.
+func (v *RoundView) refillStrategy(s int) {
+	sum, sumPlus := 0.0, 0.0
+	for _, e := range v.g.strat(s) {
+		sum += v.lat[e]
+		sumPlus += v.latPlus[e]
+	}
+	v.stratLat[s] = sum
+	v.joinLat[s] = sumPlus
+}
+
+// Sync refreshes the view incrementally: only resources whose load changed
+// since the last refresh (per the state's mutation epochs) re-evaluate
+// their latency functions, and only strategies containing such a resource
+// — found through the game's reverse index — recompute their sums.
+// Strategies registered since the last refresh are appended. The resulting
+// tables are bit-identical to a full Reset; when more than half the
+// resources are dirty (or the view is bound to a different state) Sync
+// falls back to one.
+func (v *RoundView) Sync(st *State) *RoundView {
+	if !v.synced || v.st != st || v.g != st.g {
+		return v.Reset(st)
+	}
+	g := st.g
+	oldK := len(v.stratLat)
+	k := g.NumStrategies()
+	if st.mutEpoch == v.syncEpoch && k == oldK {
+		return v
+	}
+
+	// Collect the dirty resources first (cheap integer compares only), so
+	// a majority-dirty round falls back to the straight rebuild without
+	// having paid for any latency evaluations twice.
+	v.dirty = v.dirty[:0]
+	m := len(g.resources)
+	for e := 0; e < m; e++ {
+		if st.resEpoch[e] > v.syncEpoch {
+			v.dirty = append(v.dirty, int32(e))
+		}
+	}
+	if 2*len(v.dirty) > m {
+		// Dirt majority: the reverse-index walk would cost more than the
+		// straight rebuild.
+		return v.Reset(st)
+	}
+	for _, e := range v.dirty {
+		f := g.fns[e]
+		x := float64(st.load[e])
+		v.lat[e] = f.Value(x)
+		v.latPlus[e] = f.Value(x + 1)
+	}
+
+	// Recompute the strategy sums the dirty resources touch, each at most
+	// once (the seen stamps dedupe strategies shared by several dirty
+	// resources).
+	v.seenGen++
+	if v.seenGen == 0 { // wrapped: invalidate all stamps
+		clear(v.seen)
+		v.seenGen = 1
+	}
+	if len(v.seen) < k {
+		v.seen = append(v.seen, make([]uint32, k-len(v.seen))...)
+	}
+	for _, e := range v.dirty {
+		for _, s := range g.resStrats[e] {
+			if int(s) >= oldK || v.seen[s] == v.seenGen {
+				continue // appended below / already recomputed
+			}
+			v.seen[s] = v.seenGen
+			v.refillStrategy(int(s))
+		}
+	}
+
+	// Append strategies registered since the last refresh.
+	if k > oldK {
+		v.stratLat = growKeep(v.stratLat, k)
+		v.joinLat = growKeep(v.joinLat, k)
+		for s := oldK; s < k; s++ {
+			v.refillStrategy(s)
+		}
+	}
+	v.syncEpoch = st.mutEpoch
 	return v
 }
 
@@ -123,6 +226,17 @@ func grow[T any](s []T, n int) []T {
 		return s[:n]
 	}
 	return make([]T, n)
+}
+
+// growKeep resizes a reusable buffer to n elements, preserving existing
+// contents (unlike grow).
+func growKeep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s)
+	return out
 }
 
 // State returns the state the view was built from. The state must be
@@ -151,14 +265,15 @@ func (v *RoundView) ResourceLatency(e int) float64 { return v.lat[e] }
 func (v *RoundView) ResourceJoinLatency(e int) float64 { return v.latPlus[e] }
 
 // StrategyLatency returns ℓ_P(x) as an O(1) lookup. Strategies registered
-// after the last Reset fall back to summing the per-resource table, which
-// is still dispatch-free and exact as long as the state is unchanged.
+// after the last refresh fall back to summing the per-resource table,
+// which is still dispatch-free and exact as long as the state is
+// unchanged.
 func (v *RoundView) StrategyLatency(s int) float64 {
 	if s < len(v.stratLat) {
 		return v.stratLat[s]
 	}
 	sum := 0.0
-	for _, e := range v.g.strategies[s] {
+	for _, e := range v.g.strat(s) {
 		sum += v.lat[e]
 	}
 	return sum
@@ -171,7 +286,7 @@ func (v *RoundView) JoinLatency(s int) float64 {
 		return v.joinLat[s]
 	}
 	sum := 0.0
-	for _, e := range v.g.strategies[s] {
+	for _, e := range v.g.strat(s) {
 		sum += v.latPlus[e]
 	}
 	return sum
@@ -179,13 +294,18 @@ func (v *RoundView) JoinLatency(s int) float64 {
 
 // SwitchLatency returns ℓ_to(x + 1_to − 1_from): a merge over the two
 // sorted resource lists taking lat[e] on shared resources (the +1 and −1
-// cancel) and latPlus[e] elsewhere.
+// cancel) and latPlus[e] elsewhere. Singleton games (every strategy one
+// resource — the paper's parallel-links setting) skip the merge: distinct
+// strategies are disjoint, so the answer is one latPlus lookup.
 func (v *RoundView) SwitchLatency(from, to int) float64 {
 	if from == to {
 		return v.StrategyLatency(to)
 	}
-	fromRes := v.g.strategies[from]
-	toRes := v.g.strategies[to]
+	if v.g.allSingleton {
+		return v.latPlus[v.g.stratRes[v.g.stratOff[to]]]
+	}
+	fromRes := v.g.strat(from)
+	toRes := v.g.strat(to)
 	sum := 0.0
 	i := 0
 	for _, e := range toRes {
@@ -205,7 +325,7 @@ func (v *RoundView) SwitchLatency(from, to int) float64 {
 // set Q (need not be registered or sorted), via binary-search membership
 // tests against the player's current strategy.
 func (v *RoundView) SwitchLatencyTo(from int, resources []int) float64 {
-	fromRes := v.g.strategies[from]
+	fromRes := v.g.strat(from)
 	sum := 0.0
 	for _, e := range resources {
 		lo, hi := 0, len(fromRes)

@@ -1,0 +1,164 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// incrGame builds a mixed game for the differential tests: m resources
+// with varied latency families, singleton strategies on the first links
+// plus random multi-resource strategies.
+func incrGame(t *testing.T, n, m, multi int, rng *rand.Rand) *Game {
+	t.Helper()
+	resources := make([]Resource, m)
+	for e := 0; e < m; e++ {
+		var f latency.Function
+		var err error
+		switch e % 3 {
+		case 0:
+			f, err = latency.NewAffine(1+rng.Float64()*3, rng.Float64())
+		case 1:
+			f, err = latency.NewMonomial(0.5+rng.Float64(), 2)
+		default:
+			f, err = latency.NewAffine(0.5+rng.Float64(), 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[e] = Resource{Name: fmt.Sprintf("r%d", e), Latency: f}
+	}
+	strategies := make([][]int, 0, m/2+multi)
+	for e := 0; e < m/2; e++ {
+		strategies = append(strategies, []int{e})
+	}
+	for i := 0; i < multi; i++ {
+		size := 2 + rng.Intn(3)
+		perm := rng.Perm(m)[:size]
+		strategies = append(strategies, perm)
+	}
+	g, err := New(Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireViewsEqual compares a Sync-maintained view against a freshly
+// rebuilt reference view bit-for-bit across every cached table and every
+// Snapshot query.
+func requireViewsEqual(t *testing.T, step int, got, want *RoundView) {
+	t.Helper()
+	g := want.Game()
+	for e := 0; e < g.NumResources(); e++ {
+		if got.ResourceLatency(e) != want.ResourceLatency(e) {
+			t.Fatalf("step %d: resource %d latency: sync %v, full rebuild %v", step, e, got.ResourceLatency(e), want.ResourceLatency(e))
+		}
+		if got.ResourceJoinLatency(e) != want.ResourceJoinLatency(e) {
+			t.Fatalf("step %d: resource %d join latency: sync %v, full rebuild %v", step, e, got.ResourceJoinLatency(e), want.ResourceJoinLatency(e))
+		}
+	}
+	for s := 0; s < g.NumStrategies(); s++ {
+		if got.StrategyLatency(s) != want.StrategyLatency(s) {
+			t.Fatalf("step %d: strategy %d latency: sync %v, full rebuild %v", step, s, got.StrategyLatency(s), want.StrategyLatency(s))
+		}
+		if got.JoinLatency(s) != want.JoinLatency(s) {
+			t.Fatalf("step %d: strategy %d join latency: sync %v, full rebuild %v", step, s, got.JoinLatency(s), want.JoinLatency(s))
+		}
+	}
+	for from := 0; from < g.NumStrategies(); from++ {
+		for to := 0; to < g.NumStrategies(); to++ {
+			if got.SwitchLatency(from, to) != want.SwitchLatency(from, to) {
+				t.Fatalf("step %d: switch %d->%d: sync %v, full rebuild %v", step, from, to, got.SwitchLatency(from, to), want.SwitchLatency(from, to))
+			}
+		}
+	}
+	if got.AvgLatency() != want.AvgLatency() || got.AvgJoinLatency() != want.AvgJoinLatency() || got.Makespan() != want.Makespan() {
+		t.Fatalf("step %d: aggregate metrics diverged", step)
+	}
+}
+
+// TestSyncMatchesResetOverMoves drives a randomized Move trajectory and
+// checks after every batch that the incrementally maintained view equals a
+// full rebuild bit-for-bit.
+func TestSyncMatchesResetOverMoves(t *testing.T) {
+	rng := prng.New(11)
+	g := incrGame(t, 60, 24, 6, rng)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewRoundView(st)
+	for step := 0; step < 200; step++ {
+		batch := 1 + rng.Intn(4)
+		for i := 0; i < batch; i++ {
+			p := rng.Intn(g.NumPlayers())
+			st.Move(p, rng.Intn(g.NumStrategies()))
+		}
+		requireViewsEqual(t, step, view.Sync(st), NewRoundView(st))
+	}
+}
+
+// TestSyncMatchesResetOverDeltas drives the sharded apply path, including
+// cross-shard discovery of new strategies, and checks the Sync'd view
+// (exercising the appended-strategy path) against a full rebuild.
+func TestSyncMatchesResetOverDeltas(t *testing.T) {
+	rng := prng.New(13)
+	g := incrGame(t, 80, 20, 4, rng)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewRoundView(st)
+	phi := st.Potential()
+	deltas := []*Delta{NewDelta(st), NewDelta(st)}
+	for step := 0; step < 120; step++ {
+		for _, d := range deltas {
+			d.Reset(st)
+		}
+		for i := 0; i < 3; i++ {
+			p := rng.Intn(g.NumPlayers())
+			d := deltas[0]
+			if p >= g.NumPlayers()/2 {
+				d = deltas[1]
+			}
+			if rng.Intn(4) == 0 {
+				// A fresh (possibly unregistered) resource pair.
+				a, b := rng.Intn(g.NumResources()), rng.Intn(g.NumResources())
+				if a == b {
+					b = (b + 1) % g.NumResources()
+				}
+				d.RecordNewStrategy(p, []int{a, b})
+			} else {
+				d.RecordMove(p, rng.Intn(g.NumStrategies()))
+			}
+		}
+		phi, _, _ = st.ApplyDeltas(phi, deltas, 2)
+		requireViewsEqual(t, step, view.Sync(st), NewRoundView(st))
+	}
+}
+
+// TestSyncFallsBackOnMajorityDirty makes most resources dirty in one batch
+// (forcing the full-rebuild fallback) and on a rebound state change, and
+// checks bit-identity either way.
+func TestSyncFallsBackOnMajorityDirty(t *testing.T) {
+	rng := prng.New(17)
+	g := incrGame(t, 40, 10, 3, rng)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewRoundView(st)
+	// Touch (almost) every resource.
+	for p := 0; p < g.NumPlayers(); p++ {
+		st.Move(p, rng.Intn(g.NumStrategies()))
+	}
+	requireViewsEqual(t, 0, view.Sync(st), NewRoundView(st))
+	// Rebinding to a clone must trigger a full rebuild, not reuse stamps.
+	clone := st.Clone()
+	clone.Move(0, (clone.Assign(0)+1)%g.NumStrategies())
+	requireViewsEqual(t, 1, view.Sync(clone), NewRoundView(clone))
+}

@@ -11,21 +11,30 @@ import (
 // buffers) so the bookkeeping (per-strategy counts, per-resource loads)
 // stays consistent.
 //
+// The state also tracks WHICH resources each mutation touched, as a
+// per-resource epoch stamp: Move and ApplyDeltas advance mutEpoch and stamp
+// every resource whose load they updated. RoundView.Sync reads the stamps
+// to refresh only the latency entries that may have changed — the dirty-set
+// propagation that makes per-round snapshot maintenance incremental (see
+// DESIGN.md §8).
+//
 // A State is not safe for concurrent mutation. The simulation engine
 // snapshots what it needs (RoundView), computes decisions concurrently,
 // and applies migrations either sequentially through Move or via the
 // sharded delta merge — both produce bit-identical trajectories.
 type State struct {
-	g      *Game
-	assign []int32 // player -> strategy
-	counts []int64 // strategy -> number of players on it
-	load   []int64 // resource -> congestion x_e
+	g        *Game
+	assign   []int32  // player -> strategy
+	counts   []int64  // strategy -> number of players on it
+	load     []int64  // resource -> congestion x_e
+	resEpoch []uint64 // resource -> mutEpoch of its last load update
+	mutEpoch uint64   // advances on every Move / ApplyDeltas
 }
 
 // NewState creates a state with every player on the given strategy.
 func NewState(g *Game, strategy int) (*State, error) {
-	if strategy < 0 || strategy >= len(g.strategies) {
-		return nil, fmt.Errorf("%w: strategy %d out of range [0,%d)", ErrInvalid, strategy, len(g.strategies))
+	if strategy < 0 || strategy >= g.NumStrategies() {
+		return nil, fmt.Errorf("%w: strategy %d out of range [0,%d)", ErrInvalid, strategy, g.NumStrategies())
 	}
 	assign := make([]int32, g.n)
 	for i := range assign {
@@ -41,17 +50,18 @@ func NewStateFromAssignment(g *Game, assign []int32) (*State, error) {
 		return nil, fmt.Errorf("%w: assignment has %d players, want %d", ErrInvalid, len(assign), g.n)
 	}
 	st := &State{
-		g:      g,
-		assign: append([]int32(nil), assign...),
-		counts: make([]int64, len(g.strategies)),
-		load:   make([]int64, len(g.resources)),
+		g:        g,
+		assign:   append([]int32(nil), assign...),
+		counts:   make([]int64, g.NumStrategies()),
+		load:     make([]int64, len(g.resources)),
+		resEpoch: make([]uint64, len(g.resources)),
 	}
 	for p, s := range st.assign {
-		if s < 0 || int(s) >= len(g.strategies) {
-			return nil, fmt.Errorf("%w: player %d assigned to strategy %d, have %d strategies", ErrInvalid, p, s, len(g.strategies))
+		if s < 0 || int(s) >= g.NumStrategies() {
+			return nil, fmt.Errorf("%w: player %d assigned to strategy %d, have %d strategies", ErrInvalid, p, s, g.NumStrategies())
 		}
 		st.counts[s]++
-		for _, e := range g.strategies[s] {
+		for _, e := range g.strat(int(s)) {
 			st.load[e]++
 		}
 	}
@@ -64,7 +74,7 @@ func NewStateFromAssignment(g *Game, assign []int32) (*State, error) {
 func NewRandomState(g *Game, rng *rand.Rand) (*State, error) {
 	assign := make([]int32, g.n)
 	for i := range assign {
-		assign[i] = int32(rng.Intn(len(g.strategies)))
+		assign[i] = int32(rng.Intn(g.NumStrategies()))
 	}
 	return NewStateFromAssignment(g, assign)
 }
@@ -95,13 +105,13 @@ func (st *State) LoadsView() []int64 { return st.load }
 
 // ResourceLatency returns ℓ_e(x_e) at the current congestion.
 func (st *State) ResourceLatency(e int) float64 {
-	return st.g.resources[e].Latency.Value(float64(st.load[e]))
+	return st.g.fns[e].Value(float64(st.load[e]))
 }
 
 // ResourceJoinLatency returns ℓ_e(x_e + 1): the latency of the resource if
 // one additional player joined it.
 func (st *State) ResourceJoinLatency(e int) float64 {
-	return st.g.resources[e].Latency.Value(float64(st.load[e] + 1))
+	return st.g.fns[e].Value(float64(st.load[e] + 1))
 }
 
 // StrategyLatency returns ℓ_P(x) = Σ_{e∈P} ℓ_e(x_e) for the given strategy
@@ -116,8 +126,8 @@ func (st *State) StrategyLatency(s int) float64 {
 // bit-identical sums.
 func strategyLatencyLoads(g *Game, load []int64, s int) float64 {
 	sum := 0.0
-	for _, e := range g.strategies[s] {
-		sum += g.resources[e].Latency.Value(float64(load[e]))
+	for _, e := range g.strat(s) {
+		sum += g.fns[e].Value(float64(load[e]))
 	}
 	return sum
 }
@@ -126,8 +136,8 @@ func strategyLatencyLoads(g *Game, load []int64, s int) float64 {
 // one additional player joined every one of its resources.
 func (st *State) JoinLatency(s int) float64 {
 	sum := 0.0
-	for _, e := range st.g.strategies[s] {
-		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + 1))
+	for _, e := range st.g.strat(s) {
+		sum += st.g.fns[e].Value(float64(st.load[e] + 1))
 	}
 	return sum
 }
@@ -145,8 +155,8 @@ func switchLatencyLoads(g *Game, load []int64, from, to int) float64 {
 	if from == to {
 		return strategyLatencyLoads(g, load, to)
 	}
-	fromRes := g.strategies[from]
-	toRes := g.strategies[to]
+	fromRes := g.strat(from)
+	toRes := g.strat(to)
 	sum := 0.0
 	i := 0
 	for _, e := range toRes {
@@ -157,7 +167,7 @@ func switchLatencyLoads(g *Game, load []int64, from, to int) float64 {
 		if i < len(fromRes) && fromRes[i] == e {
 			delta = 0 // shared resource: +1 and −1 cancel
 		}
-		sum += g.resources[e].Latency.Value(float64(load[e] + delta))
+		sum += g.fns[e].Value(float64(load[e] + delta))
 	}
 	return sum
 }
@@ -168,7 +178,7 @@ func switchLatencyLoads(g *Game, load []int64, from, to int) float64 {
 // registering them. The resource list need not be sorted; duplicates are
 // the caller's responsibility to avoid.
 func (st *State) SwitchLatencyTo(from int, resources []int) float64 {
-	fromRes := st.g.strategies[from]
+	fromRes := st.g.strat(from)
 	sum := 0.0
 	for _, e := range resources {
 		delta := int64(1)
@@ -185,7 +195,7 @@ func (st *State) SwitchLatencyTo(from int, resources []int) float64 {
 		if lo < len(fromRes) && fromRes[lo] == int32(e) {
 			delta = 0
 		}
-		sum += st.g.resources[e].Latency.Value(float64(st.load[e] + delta))
+		sum += st.g.fns[e].Value(float64(st.load[e] + delta))
 	}
 	return sum
 }
@@ -209,6 +219,13 @@ func (st *State) Move(p, to int) float64 {
 	st.assign[p] = int32(to)
 	st.counts[from]--
 	st.counts[to]++
+	st.mutEpoch++
+	for _, e := range st.g.strat(from) {
+		st.resEpoch[e] = st.mutEpoch
+	}
+	for _, e := range st.g.strat(to) {
+		st.resEpoch[e] = st.mutEpoch
+	}
 	return deltaPhi
 }
 
@@ -216,13 +233,15 @@ func (st *State) Move(p, to int) float64 {
 // applies the ±1 load updates in place. It is the single implementation of
 // the incremental-potential contract: State.Move uses it on the live loads
 // and Delta.replay uses it on per-shard entry loads, so the parallel apply
-// phase reproduces the sequential ΔΦ values bit-for-bit.
+// phase reproduces the sequential ΔΦ values bit-for-bit. Epoch stamping is
+// the caller's job — replay runs on scratch vectors that must not dirty
+// the state.
 func moveDelta(g *Game, load []int64, from, to int) float64 {
 	deltaPhi := switchLatencyLoads(g, load, from, to) - strategyLatencyLoads(g, load, from)
-	for _, e := range g.strategies[from] {
+	for _, e := range g.strat(from) {
 		load[e]--
 	}
-	for _, e := range g.strategies[to] {
+	for _, e := range g.strat(to) {
 		load[e]++
 	}
 	return deltaPhi
@@ -232,8 +251,8 @@ func moveDelta(g *Game, load []int64, from, to int) float64 {
 // were registered on the game (by exploration). It is a no-op if the state
 // is already current.
 func (st *State) EnsureStrategies() {
-	if len(st.counts) < len(st.g.strategies) {
-		grown := make([]int64, len(st.g.strategies))
+	if len(st.counts) < st.g.NumStrategies() {
+		grown := make([]int64, st.g.NumStrategies())
 		copy(grown, st.counts)
 		st.counts = grown
 	}
@@ -242,10 +261,12 @@ func (st *State) EnsureStrategies() {
 // Clone returns a deep copy sharing the (immutable) game.
 func (st *State) Clone() *State {
 	return &State{
-		g:      st.g,
-		assign: append([]int32(nil), st.assign...),
-		counts: append([]int64(nil), st.counts...),
-		load:   append([]int64(nil), st.load...),
+		g:        st.g,
+		assign:   append([]int32(nil), st.assign...),
+		counts:   append([]int64(nil), st.counts...),
+		load:     append([]int64(nil), st.load...),
+		resEpoch: append([]uint64(nil), st.resEpoch...),
+		mutEpoch: st.mutEpoch,
 	}
 }
 
@@ -254,14 +275,14 @@ func (st *State) Clone() *State {
 // strategy. It returns the first violation found.
 func (st *State) Validate() error {
 	var totalPlayers int64
-	counts := make([]int64, len(st.g.strategies))
+	counts := make([]int64, st.g.NumStrategies())
 	load := make([]int64, len(st.g.resources))
 	for p, s := range st.assign {
-		if s < 0 || int(s) >= len(st.g.strategies) {
+		if s < 0 || int(s) >= st.g.NumStrategies() {
 			return fmt.Errorf("%w: player %d on unknown strategy %d", ErrInvalid, p, s)
 		}
 		counts[s]++
-		for _, e := range st.g.strategies[s] {
+		for _, e := range st.g.strat(int(s)) {
 			load[e]++
 		}
 	}

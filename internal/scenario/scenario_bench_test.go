@@ -1,0 +1,52 @@
+package scenario
+
+// Sweep-cell benchmarks: one small single-cell sweep end to end (spec
+// parse → grid expansion → replications through runner → metric fold into
+// the table). cmd/bench tracks the same shape in its versioned suite, and
+// the CI race job runs this file as its scenario-path bench smoke.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const benchSpecJSON = `{
+  "version": 1,
+  "name": "bench-cell",
+  "instance": {
+    "family": "linear-singletons",
+    "keys": [7],
+    "params": {"m": 10, "maxSlope": 4}
+  },
+  "dynamics": {"kind": "imitation", "keys": [71]},
+  "stop": {"kind": "imitation-stable"},
+  "rounds": 500,
+  "reps": 4,
+  "seed": 1,
+  "metrics": ["mean_rounds", "converged_frac"],
+  "sweep": [{"param": "n", "values": [512]}]
+}`
+
+func benchSweep(b *testing.B, par int) {
+	b.Helper()
+	spec, err := Parse(strings.NewReader(benchSpecJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ctx, spec, Options{Par: par}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCell measures the single-cell sweep at sequential and
+// parallel replication settings.
+func BenchmarkSweepCell(b *testing.B) {
+	b.Run("par=1", func(b *testing.B) { benchSweep(b, 1) })
+	b.Run("par=2", func(b *testing.B) { benchSweep(b, 2) })
+}

@@ -208,27 +208,36 @@ func (st *State) AvgLatency() float64 {
 	return sum / st.g.totalW
 }
 
-// LinearPotential returns the exact weighted potential
-// ½·Σ_e a_e·(W_e² + Σ_{i on e} w_i²) for games whose latencies are all pure
-// linear; it errors otherwise.
-func (st *State) LinearPotential() (float64, error) {
-	slopes := make([]float64, st.g.NumLinks())
-	for e, f := range st.g.fns {
+// LinearSlopes extracts the per-link slope a_e for games whose latencies
+// are all pure linear ℓ_e(x) = a_e·x; it errors otherwise. The slice is
+// freshly allocated — callers on a hot path extract it once (the game is
+// immutable) and fold potentials through LinearPotentialWith, avoiding the
+// per-round type switches and allocation.
+func (g *Game) LinearSlopes() ([]float64, error) {
+	slopes := make([]float64, g.NumLinks())
+	for e, f := range g.fns {
 		switch fn := f.(type) {
 		case latency.Affine:
 			if fn.B != 0 {
-				return 0, fmt.Errorf("%w: link %d has offset %v", ErrInvalid, e, fn.B)
+				return nil, fmt.Errorf("%w: link %d has offset %v", ErrInvalid, e, fn.B)
 			}
 			slopes[e] = fn.A
 		case latency.Monomial:
 			if fn.D != 1 {
-				return 0, fmt.Errorf("%w: link %d has degree %v", ErrInvalid, e, fn.D)
+				return nil, fmt.Errorf("%w: link %d has degree %v", ErrInvalid, e, fn.D)
 			}
 			slopes[e] = fn.A
 		default:
-			return 0, fmt.Errorf("%w: link %d latency %s is not linear", ErrInvalid, e, f)
+			return nil, fmt.Errorf("%w: link %d latency %s is not linear", ErrInvalid, e, f)
 		}
 	}
+	return slopes, nil
+}
+
+// LinearPotentialWith folds the exact weighted potential from slopes
+// previously extracted by LinearSlopes. The fold order (links ascending,
+// then players ascending) matches LinearPotential bit-for-bit.
+func (st *State) LinearPotentialWith(slopes []float64) float64 {
 	phi := 0.0
 	for e := range slopes {
 		phi += slopes[e] * st.load[e] * st.load[e]
@@ -237,7 +246,18 @@ func (st *State) LinearPotential() (float64, error) {
 		w := st.g.weights[i]
 		phi += slopes[e] * w * w
 	}
-	return phi / 2, nil
+	return phi / 2
+}
+
+// LinearPotential returns the exact weighted potential
+// ½·Σ_e a_e·(W_e² + Σ_{i on e} w_i²) for games whose latencies are all pure
+// linear; it errors otherwise.
+func (st *State) LinearPotential() (float64, error) {
+	slopes, err := st.g.LinearSlopes()
+	if err != nil {
+		return 0, err
+	}
+	return st.LinearPotentialWith(slopes), nil
 }
 
 // Clone deep-copies the state.
