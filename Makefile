@@ -13,17 +13,21 @@
 #     fingerprint of the run that produced it.
 GO ?= go
 
-SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined
+SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined fluid-vs-exact
 
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR6.json
 # Short per-benchmark run time for the CI gate; `make bench` uses the
 # default 1s for the committed baseline.
 BENCH_GATE_TIME ?= 0.3s
 BENCH_TOL ?= 0.25
-# The n=262144 rounds move megabytes per op, so their ns/op breathes with
-# host memory-bandwidth contention far more than the rest of the suite;
-# they gate at a wider tolerance. allocs/op gating is unaffected (exact).
-BENCH_TOL_FOR ?= engine/step/heavy-n262144/w1=0.5,engine/step/heavy-n262144/w2=0.5
+# The n=262144 and n=1048576 rounds move megabytes per op, so their ns/op
+# breathes with host memory-bandwidth contention far more than the rest of
+# the suite; they gate at a wider tolerance. The million-player rounds are
+# the extreme case — on a loaded single-core host the w2 variant has been
+# observed ±100% run to run — so they gate one-sidedly generous: the row
+# still catches a real blow-up, and allocs/op gating stays exact (any
+# growth from 0 fails regardless of tolerance).
+BENCH_TOL_FOR ?= engine/step/heavy-n262144/w1=0.5,engine/step/heavy-n262144/w2=0.5,engine/step/heavy-n1048576/w1=1.0,engine/step/heavy-n1048576/w2=1.2
 
 .PHONY: all build test test-short race vet fmt bench bench-gate \
         experiments examples sweep-quick sweep-golden sweep-check help
@@ -52,7 +56,7 @@ vet: ## go vet ./...
 fmt: ## Fail if any file needs gofmt.
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench: ## Regenerate the committed benchmark baseline (BENCH_PR5.json).
+bench: ## Regenerate the committed benchmark baseline (BENCH_PR6.json).
 	$(GO) run ./cmd/bench -out $(BENCH_BASELINE)
 
 bench-gate: ## Run the short bench suite and diff it against the committed baseline (CI perf gate).

@@ -11,12 +11,16 @@
 //
 // The run suite (versioned; see suiteVersion) covers the hot paths the
 // repo optimizes: engine/step/* measures one concurrent imitation round
-// at n ∈ {4096, 65536, 262144} across worker counts (intra-round
-// sharding), weighted/step/* one weighted round, runner/* replication
-// fan-out through internal/runner, sweep/* a single scenario cell end to
-// end, and sim/E1/* a full experiment regeneration. `make bench`
-// regenerates the committed BENCH_PR5.json baseline; plain runs default
-// to bench.json so a local run cannot clobber the committed baselines.
+// at n ∈ {4096, 65536, 262144, 1048576} across worker counts (intra-round
+// sharding), fluid/step/* one mean-field round at m ∈ {8, 64, 512} (flat
+// in n by construction — compare against the engine/step n axis),
+// fluid/vs-exact-n4096 a 60-round engine run with a lockstep drift
+// tracker (the E15 measurement cell), weighted/step/* one weighted round,
+// runner/* replication fan-out through internal/runner, sweep/* a single
+// scenario cell end to end, and sim/E1/* a full experiment regeneration.
+// `make bench` regenerates the committed BENCH_PR6.json baseline; plain
+// runs default to bench.json so a local run cannot clobber the committed
+// baselines.
 //
 // compare matches benchmarks by name and fails (exit 1) when NEW regresses
 // against OLD: ns/op worse by more than the tolerance (default 25%,
@@ -41,6 +45,7 @@ import (
 
 	"congame/internal/core"
 	"congame/internal/dynamics"
+	"congame/internal/fluid"
 	"congame/internal/latency"
 	"congame/internal/prng"
 	"congame/internal/runner"
@@ -53,7 +58,7 @@ import (
 // suiteVersion identifies the benchmark suite layout. Bump it when
 // benchmarks are added, removed, or change meaning; compare warns when
 // diffing reports from different suite versions.
-const suiteVersion = 5
+const suiteVersion = 6
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -177,9 +182,11 @@ func suite() []namedBench {
 		workerCounts = append(workerCounts, gmp)
 	}
 
-	// Axis 1: intra-round sharding — one heavy-traffic round per op, at
-	// three population scales.
-	for _, n := range []int{4096, 65536, 262144} {
+	// Axis 1: intra-round sharding — one heavy-traffic round per op, from
+	// mid-size to the million-player scale (n = 2^20, the regime the fluid
+	// backend exists for: per-round engine cost grows linearly along this
+	// axis while fluid/step/* stays flat).
+	for _, n := range []int{4096, 65536, 262144, 1048576} {
 		for _, w := range workerCounts {
 			n, w := n, w
 			add(fmt.Sprintf("engine/step/heavy-n%d/w%d", n, w), func(b *testing.B) {
@@ -200,6 +207,15 @@ func suite() []namedBench {
 			benchRunnerSpec(b, 8, par)
 		})
 	}
+
+	// Mean-field rounds: cost depends on the link count only, never on n.
+	for _, m := range []int{8, 64, 512} {
+		m := m
+		add(fmt.Sprintf("fluid/step/m%d", m), func(b *testing.B) { benchFluidStep(b, m) })
+	}
+	// The E15 measurement cell: a 60-round exact run with a lockstep fluid
+	// shadow and per-round drift distances.
+	add("fluid/vs-exact-n4096", benchFluidVsExact)
 
 	// Weighted family round throughput.
 	add("weighted/step/n8192", benchWeightedStep)
@@ -252,6 +268,87 @@ func benchEngineStep(b *testing.B, n, workers int) {
 		dyn.Step()
 		b.StartTimer()
 		dyn.Step()
+	}
+}
+
+// benchFluidStep measures one mean-field round (RK4, 4 substeps) on an
+// m-link monomial system — the same construction as BenchmarkSimStep in
+// internal/fluid. Steady state is a zero-allocation path, like the engine
+// round.
+func benchFluidStep(b *testing.B, m int) {
+	fns := make([]latency.Function, m)
+	for e := range fns {
+		f, err := latency.NewMonomial(1+float64(e%7)/2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns[e] = f
+	}
+	sys, err := fluid.NewSystem(fns, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y0 := make([]float64, m)
+	w, total := 1.0, 0.0
+	for e := range y0 {
+		y0[e] = w
+		total += w
+		w *= 0.93
+	}
+	for e := range y0 {
+		y0[e] /= total
+	}
+	fsim, err := fluid.NewSim(sys, y0, fluid.SimConfig{Substeps: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsim.Step() // reach the derivative workspace's steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fsim.Step()
+	}
+}
+
+// benchFluidVsExact measures the E15 cell: 60 exact engine rounds on a
+// linear singleton instance with a DriftTracker advancing the mean-field
+// twin in lockstep and measuring the L∞/L1 distance each round.
+func benchFluidVsExact(b *testing.B) {
+	inst, err := workload.LinearSingletons(8, 4096, 2, prng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := inst.State.Clone()
+		sys, err := fluid.FromGame(inst.Game, core.DefaultLambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsim, err := fluid.NewSim(sys, fluid.EmpiricalDistribution(st, nil), fluid.SimConfig{Substeps: 1, Euler: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trk := fluid.NewDriftTracker(fsim, st)
+		e, err := core.NewEngine(st, im, core.WithSeed(1), core.WithWorkers(1), core.WithObserver(trk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for r := 0; r < 60; r++ {
+			e.Step()
+		}
+		b.StopTimer()
+		if !(trk.Drift().SupLinf > 0) {
+			b.Fatal("drift tracker measured nothing")
+		}
+		b.StartTimer()
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,7 +53,7 @@ func run() int {
 	flag.Parse()
 
 	if *listFlag {
-		printRegistries()
+		printRegistries(os.Stdout)
 		return 0
 	}
 	if *specFlag == "" {
@@ -205,16 +206,24 @@ func writeTraces(res *scenario.Result, dir string) error {
 	return nil
 }
 
-// printRegistries lists everything a spec file can name.
-func printRegistries() {
+// printRegistries lists everything a spec file can name. Dynamics kinds
+// print grouped by family with their one-line descriptions; the other
+// registries are flat name lists.
+func printRegistries(w io.Writer) {
 	section := func(title string, names []string) {
-		fmt.Printf("%s:\n", title)
+		fmt.Fprintf(w, "%s:\n", title)
 		for _, n := range names {
-			fmt.Printf("  %s\n", n)
+			fmt.Fprintf(w, "  %s\n", n)
 		}
 	}
 	section("instance families", scenario.Families())
-	section("dynamics kinds", scenario.DynamicsKinds())
+	fmt.Fprintf(w, "dynamics kinds:\n")
+	for _, g := range scenario.DynamicsInfo() {
+		fmt.Fprintf(w, "  [%s]\n", g.Group)
+		for _, k := range g.Kinds {
+			fmt.Fprintf(w, "    %-21s %s\n", k.Name, k.Desc)
+		}
+	}
 	section("stop conditions", scenario.StopKinds())
 	section("metrics", scenario.MetricNames())
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// listGolden is the exact -list output. The test pins the full listing so
+// a new family, kind, stop, or metric (or a reworded description) shows
+// up as a reviewed diff here rather than silently changing the CLI
+// surface.
+const listGolden = `instance families:
+  braess
+  heavy-traffic
+  last-agent
+  linear-singletons
+  monomial-singletons
+  poly-network
+  two-commodity
+  two-link
+  uniform-singletons
+  zero-offset-singletons
+dynamics kinds:
+  [concurrent engine]
+    combined              per-round mixture of imitation and exploration
+    exploration           λ-damped exploration of sampled alternative strategies
+    imitation             the paper's concurrent IMITATION PROTOCOL (λ-damped, ν-thresholded)
+    imitation-undamped    imitation without the λ damping factor (oscillation probe)
+    imitation-virtual     imitation deciding against virtual post-migration latencies
+  [sequential baselines]
+    best-response         one activated player per step moves to a best response
+    epsilon-greedy        activated player takes an ε-improving better response
+    goldberg              Goldberg's randomized better-response baseline (chunked rounds)
+    sequential-imitation  one activated player per step imitates a sampled peer (§3.2)
+  [mean-field fluid]
+    fluid-imitation       mean-field ODE limit of imitation: O(m)/round, cost independent of n
+stop conditions:
+  approx-eq
+  first-move
+  imitation-stable
+  nash
+  none
+  potential-at-most
+  quiet
+metrics:
+  ci95_rounds
+  converged
+  converged_frac
+  fluid_drift_final_l1
+  fluid_drift_final_linf
+  fluid_drift_l1
+  fluid_drift_linf
+  max_rounds
+  mean_final_avg_latency
+  mean_final_max_latency
+  mean_final_potential
+  mean_moves
+  mean_rounds
+  mean_rounds_per_log_n
+  mean_rounds_per_n
+  min_rounds
+`
+
+func TestListGolden(t *testing.T) {
+	var sb strings.Builder
+	printRegistries(&sb)
+	if got := sb.String(); got != listGolden {
+		t.Errorf("-list output changed; update listGolden after review.\ngot:\n%s", got)
+	}
+}

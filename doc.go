@@ -50,10 +50,11 @@
 //
 // # Dynamics interface and replication-parallel runner
 //
-// internal/dynamics unifies the three dynamics families — the concurrent
-// engine, the weighted engine, and the sequential baselines — behind one
-// Dynamics interface (Step/Run/Round/Potential over shared
-// RoundStats/RunResult types) with transparent, bit-identical adapters.
+// internal/dynamics unifies the four dynamics families — the concurrent
+// engine, the weighted engine, the sequential baselines, and the
+// mean-field fluid limit — behind one Dynamics interface
+// (Step/Run/Round/Potential over shared RoundStats/RunResult types) with
+// transparent, bit-identical adapters.
 // internal/runner fans independent replications of any Dynamics out
 // across a bounded worker pool and folds results in replication order,
 // so experiment aggregates are bit-identical for every parallelism. The
@@ -70,6 +71,17 @@
 // example specs under examples/scenarios reproduce cmd/experiments
 // tables byte-for-byte (DESIGN.md §7).
 //
+// # Mean-field fast path
+//
+// internal/fluid simulates the n→∞ limit of the IMITATION PROTOCOL on
+// singleton games as a deterministic flow of strategy mass: O(m) state,
+// an O(m log m) sorted prefix-sum derivative, and a unit-time Euler
+// round map that is exactly the protocol's expected one-round update.
+// Rounds cost the same at n = 10⁶ as at n = 10²; fluid.DriftTracker
+// measures the fluid-vs-exact gap (O(n^{-1/2}), pinned by tests and
+// experiment E15), and the scenario registry exposes the backend as the
+// "fluid-imitation" dynamics kind with fluid_drift_* metrics
+// (DESIGN.md §9).
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds
@@ -81,12 +93,12 @@
 //	internal/threshold  Theorem 6 threshold games and MaxCut gadgets
 //	internal/opt        social optima, fractional bounds, minimum potential
 //	internal/netopt     Frank–Wolfe flows: Wardrop equilibria, system optima
-//	internal/fluid      continuous imitation ODE (Wardrop model)
+//	internal/fluid      mean-field imitation dynamics (n→∞ ODE backend)
 //	internal/weighted   weighted-players extension
 //	internal/dynamics   unified Dynamics interface + per-family adapters
 //	internal/runner     replication-parallel executor (deterministic folds)
 //	internal/workload   named instance families
-//	internal/sim        experiment registry E1–E14 and table rendering
+//	internal/sim        experiment registry E1–E15 and table rendering
 //	internal/scenario   declarative scenario specs + parameter-sweep engine
 //	internal/stats      summary statistics and scaling fits
 //	internal/trace      trajectory recording, CSV, sparklines

@@ -36,3 +36,29 @@ func TestEngineStepZeroAllocsWorkers1(t *testing.T) {
 		t.Fatalf("engine step at workers=1 allocated %.1f times per round, want 0", allocs)
 	}
 }
+
+// TestEngineStepZeroAllocsWorkers2 pins the sharded round at zero
+// allocations per step: the persistent worker pool and the staged delta
+// apply replace the per-round goroutine spawns (closures, WaitGroups)
+// that used to cost ~10 allocations per parallel round.
+func TestEngineStepZeroAllocsWorkers2(t *testing.T) {
+	inst, err := workload.HeavyTraffic(4096, 32, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(inst.State, im, WithSeed(1), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e.Step() // reach buffer high-water marks, spawn the pool
+	}
+	allocs := testing.AllocsPerRun(20, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("engine step at workers=2 allocated %.1f times per round, want 0", allocs)
+	}
+}

@@ -79,6 +79,13 @@ type Engine struct {
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
 	deltas    []*game.Delta    // one private migration buffer per worker
+
+	// Persistent worker pool for the sharded round (see pool.go). jobs is
+	// nil until the first multi-worker Step; wg is the reusable round
+	// barrier shared by the decide and replay fan-outs.
+	jobs     chan poolJob
+	poolSize int
+	wg       sync.WaitGroup
 }
 
 // Option configures an Engine.
@@ -239,7 +246,7 @@ func (e *Engine) Step() RoundStats {
 	var movers, newStrategies int
 	if workers <= 1 {
 		d := e.delta(0)
-		e.decideShard(view, 0, n, d, e.stream(0))
+		decideRange(e.proto, view, 0, n, d, e.stream(0), e.seed, uint64(e.round))
 		e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:1], 1)
 	} else {
 		movers, newStrategies = e.stepSharded(view, n, workers)
@@ -261,52 +268,51 @@ func (e *Engine) Step() RoundStats {
 	return stats
 }
 
-// decideShard decides players [lo, hi) against the shared round-start
-// view and records the resulting migrations into the shard's private
-// delta. It runs on the calling goroutine; stepSharded fans it out.
-func (e *Engine) decideShard(view *game.RoundView, lo, hi int, d *game.Delta, stream *prng.Reusable) {
-	for p := lo; p < hi; p++ {
-		dec := e.proto.Decide(view, p, stream.Reset3(e.seed, uint64(e.round), uint64(p)))
-		if !dec.Move {
-			continue
-		}
-		if dec.NewStrategy != nil {
-			d.RecordNewStrategy(p, dec.NewStrategy)
-		} else {
-			d.RecordMove(p, dec.To)
-		}
-	}
-}
-
 // stepSharded is the fully parallel round: each worker decides a
 // contiguous shard of players against the shared view and records the
 // resulting migrations into its private game.Delta in the same pass; the
-// shards are then merged in shard-index order by State.ApplyDeltas. Shard
-// boundaries never influence the trajectory (see ApplyDeltas), so any
-// worker count reproduces the single-shard round bit-for-bit.
+// shards are then staged, replayed, and committed by the staged delta
+// apply (game.State.StageDeltas / Delta.Replay / CommitDeltas — exactly
+// ApplyDeltas with the replay fan-out driven by the engine's persistent
+// pool). Shard boundaries never influence the trajectory, so any worker
+// count reproduces the single-shard round bit-for-bit. Shards 1..k-1 run
+// on pool workers while the calling goroutine handles shard 0; after
+// warm-up the whole round allocates nothing (see pool.go).
 func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newStrategies int) {
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	used := 0
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+	used := (n + chunk - 1) / chunk
+	for w := 0; w < used; w++ {
+		e.delta(w) // reset this round's arenas before any shard runs
+		e.stream(w)
+	}
+	e.ensurePool(used - 1)
+
+	round := uint64(e.round)
+	for w := 1; w < used; w++ {
+		hi := w*chunk + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
+		e.wg.Add(1)
+		e.jobs <- poolJob{
+			proto: e.proto, view: view,
+			lo: w * chunk, hi: hi,
+			d: e.deltas[w], stream: e.streams[w],
+			seed: e.seed, round: round,
+			wg: &e.wg,
 		}
-		d := e.delta(used)
-		used++
-		wg.Add(1)
-		go func(lo, hi int, d *game.Delta, stream *prng.Reusable) {
-			defer wg.Done()
-			e.decideShard(view, lo, hi, d, stream)
-		}(lo, hi, d, e.stream(w))
 	}
-	wg.Wait()
-	e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:used], used)
+	decideRange(e.proto, view, 0, chunk, e.deltas[0], e.streams[0], e.seed, round)
+	e.wg.Wait()
+
+	newStrategies = e.st.StageDeltas(e.deltas[:used])
+	for w := 1; w < used; w++ {
+		e.wg.Add(1)
+		e.jobs <- poolJob{replay: true, d: e.deltas[w], wg: &e.wg}
+	}
+	e.deltas[0].Replay()
+	e.wg.Wait()
+	e.phi, movers = e.st.CommitDeltas(e.phi, e.deltas[:used])
 	return movers, newStrategies
 }
 

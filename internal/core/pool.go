@@ -1,0 +1,88 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+)
+
+// The parallel round used to spawn fresh goroutines every Step (decide
+// fan-out, replay fan-out), which cost ~10 heap allocations per round at
+// workers=2 — the closures, their captured WaitGroups, and the goroutine
+// start frames. The engine instead keeps a persistent pool of workers fed
+// through a channel of plain job values: after warm-up the sharded round
+// allocates nothing, matching the single-worker path (the
+// TestEngineStepZeroAllocs* tests and the cmd/bench allocs/op gate pin
+// both at zero).
+//
+// Pool workers reference only the job channel, never the Engine, so an
+// unreachable Engine is collected normally; a finalizer closes the channel
+// and the workers drain out. Engines with workers ≤ 1 never start a pool.
+
+// poolJob is one unit of sharded round work. Jobs are sent by value —
+// nothing escapes per round. The zero phase is a decide pass; replay jobs
+// run the shard's ΔΦ replay instead.
+type poolJob struct {
+	replay bool
+	// decide-pass inputs (replay jobs use only d and wg)
+	proto  Protocol
+	view   *game.RoundView
+	lo, hi int
+	d      *game.Delta
+	stream *prng.Reusable
+	seed   uint64
+	round  uint64
+	// wg is the engine's reusable round barrier.
+	wg *sync.WaitGroup
+}
+
+// poolWorker drains jobs until the channel closes. It is a top-level
+// function over the channel alone so pool goroutines never keep their
+// Engine reachable.
+func poolWorker(jobs <-chan poolJob) {
+	for j := range jobs {
+		if j.replay {
+			j.d.Replay()
+		} else {
+			decideRange(j.proto, j.view, j.lo, j.hi, j.d, j.stream, j.seed, j.round)
+		}
+		j.wg.Done()
+	}
+}
+
+// decideRange decides players [lo, hi) against the shared round-start view
+// and records the resulting migrations into the shard's private delta —
+// the same code path for the inline single-worker round, the caller's own
+// shard, and every pool worker, so decisions are identical regardless of
+// where a shard runs.
+func decideRange(proto Protocol, view *game.RoundView, lo, hi int, d *game.Delta, stream *prng.Reusable, seed, round uint64) {
+	for p := lo; p < hi; p++ {
+		dec := proto.Decide(view, p, stream.Reset3(seed, round, uint64(p)))
+		if !dec.Move {
+			continue
+		}
+		if dec.NewStrategy != nil {
+			d.RecordNewStrategy(p, dec.NewStrategy)
+		} else {
+			d.RecordMove(p, dec.To)
+		}
+	}
+}
+
+// ensurePool guarantees at least k persistent workers. The first call
+// creates the job channel and registers the finalizer that shuts the pool
+// down once the Engine is unreachable.
+func (e *Engine) ensurePool(k int) {
+	if e.poolSize >= k {
+		return
+	}
+	if e.jobs == nil {
+		e.jobs = make(chan poolJob)
+		runtime.SetFinalizer(e, func(fe *Engine) { close(fe.jobs) })
+	}
+	for ; e.poolSize < k; e.poolSize++ {
+		go poolWorker(e.jobs)
+	}
+}

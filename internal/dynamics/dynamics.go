@@ -1,11 +1,11 @@
-// Package dynamics unifies the repo's three dynamics families behind one
+// Package dynamics unifies the repo's dynamics families behind one
 // interface. The paper's experiments compare the concurrent IMITATION
 // PROTOCOL (core.Engine), its weighted-player extension (weighted.Engine),
-// and the sequential baselines of Section 3.2 (package baseline); each
-// historically exposed its own run API. This package defines the common
-// Dynamics interface — Step, Run, and potential/round accessors over a
-// shared RoundStats/RunResult vocabulary — plus thin adapters for every
-// family.
+// the sequential baselines of Section 3.2 (package baseline), and the
+// mean-field fluid limit of the protocol (fluid.Sim); each historically
+// exposed its own run API. This package defines the common Dynamics
+// interface — Step, Run, and potential/round accessors over a shared
+// RoundStats/RunResult vocabulary — plus thin adapters for every family.
 //
 // The adapters are deliberately transparent: each delegates to the wrapped
 // implementation without re-deriving randomness or re-ordering work, so a

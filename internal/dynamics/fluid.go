@@ -1,0 +1,103 @@
+package dynamics
+
+import (
+	"congame/internal/core"
+	"congame/internal/fluid"
+)
+
+// DefaultQuietTol is the migration-mass threshold below which a fluid
+// round counts as quiet. The ODE approaches its rest point asymptotically
+// and never reaches it exactly, so the discrete "no player moved" signal
+// is translated as "less than quietTol mass moved".
+const DefaultQuietTol = 1e-9
+
+// Fluid adapts a fluid.Sim — the mean-field n→∞ limit of the IMITATION
+// PROTOCOL — to the Dynamics interface. One Step is one unit-time protocol
+// round of the ODE (k integrator substeps, see fluid.SimConfig).
+//
+// RoundStats mapping: Potential, AvgLatency, and MaxLatency carry the
+// fluid values directly. Movers has no atomic counterpart in a continuum;
+// it reports 1 while more than quietTol probability mass migrated this
+// round and 0 once the flow is quieter than that, so WhenQuiet and the
+// scenario "quiet" stop work unchanged (fluid.Sim.MigrationMass exposes
+// the real-valued mass). TotalMoves stays 0, like the Goldberg baseline.
+// Snapshot-based stop conditions (FromCore) never fire on this family.
+type Fluid struct {
+	sim      *fluid.Sim
+	quietTol float64
+	obs      []core.RoundObserver
+}
+
+var _ Dynamics = (*Fluid)(nil)
+var _ Observable = (*Fluid)(nil)
+
+// FromFluid wraps a fluid simulator; quietTol ≤ 0 selects
+// DefaultQuietTol.
+func FromFluid(sim *fluid.Sim, quietTol float64) *Fluid {
+	if quietTol <= 0 {
+		quietTol = DefaultQuietTol
+	}
+	return &Fluid{sim: sim, quietTol: quietTol}
+}
+
+// Sim returns the wrapped simulator.
+func (f *Fluid) Sim() *fluid.Sim { return f.sim }
+
+// Round returns the number of completed rounds.
+func (f *Fluid) Round() int { return f.sim.Round() }
+
+// Potential returns the incrementally maintained continuous potential.
+func (f *Fluid) Potential() float64 { return f.sim.Potential() }
+
+// SetObserver implements Observable; observers see every round stepped
+// from now on, exactly like the engine adapter. Repeated calls attach
+// additional observers.
+func (f *Fluid) SetObserver(obs core.RoundObserver) {
+	if obs != nil {
+		f.obs = append(f.obs, obs)
+	}
+}
+
+// convert maps fluid round statistics onto the unified vocabulary.
+func (f *Fluid) convert(s fluid.RoundStats) RoundStats {
+	movers := 0
+	if s.MigrationMass > f.quietTol {
+		movers = 1
+	}
+	return RoundStats{
+		Round:      s.Round,
+		Movers:     movers,
+		Potential:  s.Potential,
+		AvgLatency: s.AvgLatency,
+		MaxLatency: s.MaxLatency,
+	}
+}
+
+// Step executes one unit-time fluid round.
+func (f *Fluid) Step() RoundStats {
+	st := f.convert(f.sim.Step())
+	for _, obs := range f.obs {
+		obs.Observe(core.RoundStats(st))
+	}
+	return st
+}
+
+// Run executes rounds until the stop condition fires or maxRounds rounds
+// have been executed, with the same pre-run stop probe as the other
+// families.
+func (f *Fluid) Run(maxRounds int, stop StopCondition) RunResult {
+	if stop != nil && stop(f, f.convert(f.sim.Current())) {
+		return RunResult{Rounds: 0, Converged: true, Final: f.convert(f.sim.Current())}
+	}
+	if maxRounds <= 0 {
+		return RunResult{Rounds: 0, Converged: false, Final: f.convert(f.sim.Current())}
+	}
+	var last RoundStats
+	for i := 0; i < maxRounds; i++ {
+		last = f.Step()
+		if stop != nil && stop(f, last) {
+			return RunResult{Rounds: i + 1, Converged: true, Final: last}
+		}
+	}
+	return RunResult{Rounds: maxRounds, Converged: false, Final: last}
+}

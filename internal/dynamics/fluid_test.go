@@ -1,0 +1,112 @@
+package dynamics
+
+import (
+	"testing"
+
+	"congame/internal/core"
+	"congame/internal/fluid"
+	"congame/internal/latency"
+)
+
+// fluidTestSim builds a two-link linear system far from its Wardrop point
+// (slopes 1 and 3, λ = 0.25, most mass on the slow link — not all, since
+// imitation cannot repopulate a zero-mass strategy).
+func fluidTestSim(t *testing.T, substeps int) *fluid.Sim {
+	t.Helper()
+	f1, err := latency.NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := latency.NewLinear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := fluid.NewSystem([]latency.Function{f1, f3}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fluid.NewSim(sys, []float64{0.1, 0.9}, fluid.SimConfig{Substeps: substeps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestFluidAdapterStep checks the RoundStats mapping: fluid values pass
+// through, Movers flags migration mass above the quiet tolerance.
+func TestFluidAdapterStep(t *testing.T) {
+	d := FromFluid(fluidTestSim(t, 4), 0)
+	st := d.Step()
+	if st.Round != 0 {
+		t.Fatalf("first step Round = %d, want 0", st.Round)
+	}
+	if st.Movers != 1 {
+		t.Errorf("far-from-equilibrium step Movers = %d, want 1", st.Movers)
+	}
+	if st.Potential != d.Potential() || st.Potential <= 0 {
+		t.Errorf("Potential mismatch: stats %v vs accessor %v", st.Potential, d.Potential())
+	}
+	if st.MaxLatency < st.AvgLatency || st.AvgLatency <= 0 {
+		t.Errorf("latency stats inconsistent: avg %v max %v", st.AvgLatency, st.MaxLatency)
+	}
+	if d.Round() != 1 {
+		t.Errorf("Round() = %d after one step, want 1", d.Round())
+	}
+}
+
+// TestFluidAdapterRunQuiet runs to the flow's rest point under WhenQuiet:
+// the ODE must eventually move less than quietTol mass per round and the
+// run must report convergence before the budget.
+func TestFluidAdapterRunQuiet(t *testing.T) {
+	d := FromFluid(fluidTestSim(t, 4), 1e-12)
+	res := d.Run(10000, WhenQuiet(3))
+	if !res.Converged {
+		t.Fatalf("fluid run did not quiesce in %d rounds (final migration mass %v)", res.Rounds, d.Sim().MigrationMass())
+	}
+	if res.Rounds >= 10000 || res.Rounds < 3 {
+		t.Fatalf("implausible convergence round count %d", res.Rounds)
+	}
+	if res.Final.Movers != 0 {
+		t.Errorf("converged run's final round reports Movers = %d", res.Final.Movers)
+	}
+	// Wardrop split for slopes (1, 3): y = (3/4, 1/4).
+	y := d.Sim().Mass()
+	if diff := y[0] - 0.75; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("rest point y[0] = %v, want 0.75", y[0])
+	}
+}
+
+// TestFluidAdapterRunContract pins the shared Run contract: pre-probe stop
+// fires with zero rounds executed, maxRounds ≤ 0 executes nothing.
+func TestFluidAdapterRunContract(t *testing.T) {
+	d := FromFluid(fluidTestSim(t, 1), 0)
+	res := d.Run(100, func(Dynamics, RoundStats) bool { return true })
+	if !res.Converged || res.Rounds != 0 || d.Round() != 0 {
+		t.Fatalf("pre-probe stop: got rounds=%d converged=%v simRounds=%d", res.Rounds, res.Converged, d.Round())
+	}
+	res = d.Run(0, nil)
+	if res.Converged || res.Rounds != 0 || d.Round() != 0 {
+		t.Fatalf("maxRounds=0: got rounds=%d converged=%v simRounds=%d", res.Rounds, res.Converged, d.Round())
+	}
+}
+
+// TestFluidAdapterObserver checks Observable: observers see every stepped
+// round with the same stats Step returns.
+func TestFluidAdapterObserver(t *testing.T) {
+	d := FromFluid(fluidTestSim(t, 2), 0)
+	var seen []core.RoundStats
+	d.SetObserver(observerFunc(func(r core.RoundStats) { seen = append(seen, r) }))
+	res := d.Run(5, nil)
+	if res.Rounds != 5 || len(seen) != 5 {
+		t.Fatalf("rounds=%d observed=%d, want 5/5", res.Rounds, len(seen))
+	}
+	last := seen[4]
+	if last.Round != res.Final.Round || last.Potential != res.Final.Potential {
+		t.Errorf("observer saw %+v, final stats %+v", last, res.Final)
+	}
+}
+
+// observerFunc adapts a function to core.RoundObserver.
+type observerFunc func(core.RoundStats)
+
+func (f observerFunc) Observe(r core.RoundStats) { f(r) }

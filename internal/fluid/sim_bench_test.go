@@ -1,0 +1,57 @@
+package fluid
+
+import (
+	"fmt"
+	"testing"
+
+	"congame/internal/latency"
+)
+
+// benchSim builds an m-link system with deterministic monomial latencies
+// and a skewed start — the same construction cmd/bench uses for the
+// tracked fluid/step suite, kept in-package so the CI race job's bench
+// smoke covers the fluid hot path too.
+func benchSim(b *testing.B, m, substeps int, euler bool) *Sim {
+	b.Helper()
+	fns := make([]latency.Function, m)
+	for e := range fns {
+		f, err := latency.NewMonomial(1+float64(e%7)/2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns[e] = f
+	}
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y0 := make([]float64, m)
+	w, total := 1.0, 0.0
+	for e := range y0 {
+		y0[e] = w
+		total += w
+		w *= 0.93
+	}
+	for e := range y0 {
+		y0[e] /= total
+	}
+	sim, err := NewSim(sys, y0, SimConfig{Substeps: substeps, Euler: euler})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+func BenchmarkSimStep(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			sim := benchSim(b, m, 4, false)
+			sim.Step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}

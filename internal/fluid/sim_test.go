@@ -1,0 +1,354 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"congame/internal/core"
+	"congame/internal/latency"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+func testFns(t *testing.T) []latency.Function {
+	t.Helper()
+	mono := func(a, d float64) latency.Function {
+		f, err := latency.NewMonomial(a, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	affine := func(a, b float64) latency.Function {
+		f, err := latency.NewAffine(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cst := func(c float64) latency.Function {
+		f, err := latency.NewConstant(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Deliberately includes latency ties (two identical constants) and a
+	// zero-at-zero monomial so the tie-group and ℓ=0 paths are exercised.
+	return []latency.Function{
+		mono(1, 2), mono(3, 1), affine(2, 0.5), cst(1.5), cst(1.5), mono(5, 3), affine(0.1, 2),
+	}
+}
+
+func testStates(m int) [][]float64 {
+	states := [][]float64{
+		make([]float64, m), // uniform
+		make([]float64, m), // geometric-ish
+		make([]float64, m), // one empty link, one dominant
+	}
+	for e := 0; e < m; e++ {
+		states[0][e] = 1 / float64(m)
+	}
+	w := 1.0
+	total := 0.0
+	for e := 0; e < m; e++ {
+		states[1][e] = w
+		total += w
+		w *= 0.5
+	}
+	for e := 0; e < m; e++ {
+		states[1][e] /= total
+	}
+	states[2][0] = 0
+	states[2][1] = 0.9
+	rest := 0.1 / float64(m-2)
+	for e := 2; e < m; e++ {
+		states[2][e] = rest
+	}
+	return states
+}
+
+// TestFastDerivativeMatchesReference pins the O(m log m) prefix-sum
+// derivative against the O(m²) pairwise reference on states with ties,
+// empty links, and skewed mass.
+func TestFastDerivativeMatchesReference(t *testing.T) {
+	fns := testFns(t)
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(fns)
+	var w derivWorkspace
+	w.init(m)
+	ref := make([]float64, m)
+	fast := make([]float64, m)
+	for si, y := range testStates(m) {
+		if err := sys.Derivative(y, ref); err != nil {
+			t.Fatal(err)
+		}
+		sys.fastDerivative(y, fast, &w)
+		for e := range ref {
+			scale := math.Max(1, math.Abs(ref[e]))
+			if math.Abs(fast[e]-ref[e]) > 1e-12*scale {
+				t.Fatalf("state %d link %d: fast %g, reference %g", si, e, fast[e], ref[e])
+			}
+		}
+	}
+}
+
+// TestSimMatchesSystemRun pins the Sim integrator (preallocated RK4 + fast
+// derivative) against the allocating System.Run reference trajectory.
+func TestSimMatchesSystemRun(t *testing.T) {
+	fns := testFns(t)
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := testStates(len(fns))[1]
+	const rounds, substeps = 40, 4
+	traj, err := sys.Run(y0, rounds, substeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, y0, SimConfig{Substeps: substeps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		sim.Step()
+		for e, v := range sim.Mass() {
+			if math.Abs(v-traj[r][e]) > 1e-9 {
+				t.Fatalf("round %d link %d: sim %g, reference %g", r, e, v, traj[r][e])
+			}
+		}
+	}
+}
+
+// TestSimStepZeroAllocs pins the fluid round at zero allocations — the
+// property that makes the per-round cost O(m log m) flat regardless of the
+// modeled population.
+func TestSimStepZeroAllocs(t *testing.T) {
+	fns := testFns(t)
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, testStates(len(fns))[0], SimConfig{Substeps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step()
+	allocs := testing.AllocsPerRun(20, func() { sim.Step() })
+	if allocs != 0 {
+		t.Fatalf("fluid step allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// TestSimEulerTracksRK4 checks the sub-stepped Euler integrator lands on
+// the same equilibrium as RK4 and keeps the potential monotone.
+func TestSimEulerTracksRK4(t *testing.T) {
+	fns := []latency.Function{mustMono(t, 1, 1), mustMono(t, 3, 1)}
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg SimConfig) *Sim {
+		sim, err := NewSim(sys, []float64{0.1, 0.9}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevPhi := sim.Potential()
+		for r := 0; r < 400; r++ {
+			st := sim.Step()
+			if st.Potential > prevPhi+1e-12 {
+				t.Fatalf("potential increased at round %d: %g -> %g", r, prevPhi, st.Potential)
+			}
+			prevPhi = st.Potential
+		}
+		return sim
+	}
+	rk4 := run(SimConfig{Substeps: 2})
+	euler := run(SimConfig{Substeps: 8, Euler: true})
+	// Wardrop point of slopes 1,3: y = (0.75, 0.25).
+	for _, sim := range []*Sim{rk4, euler} {
+		y := sim.Mass()
+		if math.Abs(y[0]-0.75) > 1e-3 || math.Abs(y[1]-0.25) > 1e-3 {
+			t.Fatalf("did not reach Wardrop point: %v", y)
+		}
+		if !sim.System().IsWardrop(y, 1e-3) {
+			t.Fatalf("IsWardrop rejects %v", y)
+		}
+	}
+	if d, _ := Distance(rk4.Mass(), euler.Mass()); d > 1e-3 {
+		t.Fatalf("Euler and RK4 equilibria differ by %g", d)
+	}
+}
+
+func mustMono(t *testing.T, a, d float64) latency.Function {
+	t.Helper()
+	f, err := latency.NewMonomial(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSimIncrementalPotential keeps the running potential within
+// integrator accuracy of the from-scratch recompute over a long run.
+func TestSimIncrementalPotential(t *testing.T) {
+	fns := testFns(t)
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, testStates(len(fns))[2], SimConfig{Substeps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 200; r++ {
+		sim.Step()
+	}
+	got, want := sim.Potential(), sim.ExactPotential()
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Fatalf("incremental potential %g drifted from exact %g", got, want)
+	}
+}
+
+// TestSimRoundStats sanity-checks the per-round statistics fields.
+func TestSimRoundStats(t *testing.T) {
+	fns := []latency.Function{mustMono(t, 1, 1), mustMono(t, 3, 1)}
+	sys, err := NewSystem(fns, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, []float64{0.1, 0.9}, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Step()
+	if st.Round != 0 || sim.Round() != 1 {
+		t.Fatalf("round bookkeeping: stats %d, sim %d", st.Round, sim.Round())
+	}
+	if st.MigrationMass <= 0 {
+		t.Fatalf("expected positive migration mass from an unbalanced start, got %g", st.MigrationMass)
+	}
+	if st.AvgLatency <= 0 || st.MaxLatency < st.AvgLatency {
+		t.Fatalf("latency stats inconsistent: avg %g max %g", st.AvgLatency, st.MaxLatency)
+	}
+	if st.Potential != sim.Potential() {
+		t.Fatalf("stats potential %g != sim potential %g", st.Potential, sim.Potential())
+	}
+	// At (near) equilibrium the migration mass vanishes.
+	for r := 0; r < 600; r++ {
+		st = sim.Step()
+	}
+	if st.MigrationMass > 1e-9 {
+		t.Fatalf("migration mass at equilibrium = %g, want ~0", st.MigrationMass)
+	}
+}
+
+// TestFromGame pins the singleton mapping: the game's n players become
+// unit mass, so the fluid latencies evaluate the instance functions at
+// y·n, and the damping is the game's own elasticity.
+func TestFromGame(t *testing.T) {
+	inst, err := workload.LinearSingletons(4, 1000, 4, prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromGame(inst.Game, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumLinks() != inst.Game.NumResources() {
+		t.Fatalf("links %d, resources %d", sys.NumLinks(), inst.Game.NumResources())
+	}
+	n := float64(inst.Game.NumPlayers())
+	for e := 0; e < sys.NumLinks(); e++ {
+		base := inst.Game.Resource(e).Latency
+		for _, y := range []float64{0, 0.25, 1} {
+			if got, want := sys.fns[e].Value(y), base.Value(y*n); got != want {
+				t.Fatalf("link %d at y=%v: fluid %g, base(y·n) %g", e, y, got, want)
+			}
+		}
+	}
+	if got, want := sys.Elasticity(), math.Max(1, inst.Game.Elasticity()); got != want {
+		t.Fatalf("elasticity %g, want the game's %g", got, want)
+	}
+}
+
+// TestFromGameRejectsNonSingleton: network instances have no fluid twin.
+func TestFromGameRejectsNonSingleton(t *testing.T) {
+	inst, err := workload.Braess(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromGame(inst.Game, 0.25); err == nil {
+		t.Fatal("FromGame accepted the Braess network")
+	}
+}
+
+// TestEmpiricalDistribution checks load fractions and buffer reuse.
+func TestEmpiricalDistribution(t *testing.T) {
+	inst, err := workload.UniformSingletons(4, 100, prng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := EmpiricalDistribution(inst.State, nil)
+	total := 0.0
+	for e, v := range buf {
+		if want := float64(inst.State.Load(e)) / 100; v != want {
+			t.Fatalf("link %d: %g, want %g", e, v, want)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("mass %g, want 1", total)
+	}
+	if again := EmpiricalDistribution(inst.State, buf); &again[0] != &buf[0] {
+		t.Fatal("EmpiricalDistribution did not reuse the buffer")
+	}
+}
+
+// TestDriftTrackerLockstep runs a small atomic system next to its fluid
+// twin and checks the tracker observes every round and reports a sane,
+// small drift.
+func TestDriftTrackerLockstep(t *testing.T) {
+	inst, err := workload.LinearSingletons(8, 4096, 2, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromGame(inst.Game, core.DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, EmpiricalDistribution(inst.State, nil), SimConfig{Substeps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{DisableNu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewDriftTracker(sim, inst.State)
+	e, err := core.NewEngine(inst.State, im, core.WithSeed(5), core.WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		e.Step()
+	}
+	d := tr.Drift()
+	if d.Rounds != rounds {
+		t.Fatalf("tracker observed %d rounds, want %d", d.Rounds, rounds)
+	}
+	if sim.Round() != rounds {
+		t.Fatalf("fluid twin advanced %d rounds, want %d", sim.Round(), rounds)
+	}
+	if d.SupLinf <= 0 || d.SupLinf > 0.25 {
+		t.Fatalf("sup L∞ drift %g out of the plausible band at n=4096", d.SupLinf)
+	}
+	if d.SupL1 < d.SupLinf || d.FinalLinf > d.SupLinf || d.FinalL1 > d.SupL1 {
+		t.Fatalf("drift summary inconsistent: %+v", d)
+	}
+}

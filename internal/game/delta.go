@@ -151,13 +151,20 @@ func (d *Delta) bumpLoads(from int32, toRes []int32) {
 	}
 }
 
-// replay computes each recorded move's exact ΔΦ by replaying the shard's
+// Replay computes each recorded move's exact ΔΦ by replaying the shard's
 // migrations in player order against d.entry — the load vector the
 // sequential apply loop would see when reaching this shard's first player.
 // It resolves pending new-strategy targets (newIDs must be filled) and
 // uses the same moveDelta helper as State.Move, so every ΔΦ is bit-
 // identical to the one the sequential loop would have produced.
-func (d *Delta) replay() {
+//
+// Replay is the parallel stage of the staged apply: after
+// State.StageDeltas, the shards' Replay calls are independent and may run
+// on any goroutines (the engine dispatches them to its persistent worker
+// pool); State.CommitDeltas then folds the results. Callers that do not
+// need to control the fan-out use State.ApplyDeltas, which drives all
+// three stages.
+func (d *Delta) Replay() {
 	d.dphi = grow(d.dphi, len(d.moves))
 	for i := range d.moves {
 		mv := &d.moves[i]
@@ -196,14 +203,56 @@ func (d *Delta) replay() {
 // incremental snapshot maintenance.
 //
 // workers bounds the number of goroutines used for step 3; values ≤ 1 run
-// the replay on the calling goroutine.
+// the replay on the calling goroutine. Callers that already own a worker
+// pool (the engine) drive the stages directly — StageDeltas, per-shard
+// Replay, CommitDeltas — which is this function with the fan-out hoisted
+// out; both paths produce bit-identical results.
 func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi float64, movers, newStrategies int) {
 	if len(deltas) == 0 {
 		return phi, 0, 0
 	}
+	newStrategies = st.StageDeltas(deltas)
+
+	// 3. Parallel ΔΦ replay: shards are independent given their entry loads.
+	if workers > len(deltas) {
+		workers = len(deltas)
+	}
+	if workers <= 1 {
+		for _, d := range deltas {
+			d.Replay()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, d := range deltas {
+			wg.Add(1)
+			go func(d *Delta) {
+				defer wg.Done()
+				d.Replay()
+			}(d)
+		}
+		wg.Wait()
+	}
+
+	newPhi, movers = st.CommitDeltas(phi, deltas)
+	return newPhi, movers, newStrategies
+}
+
+// StageDeltas runs the sequential pre-replay stages of the delta apply on
+// the calling goroutine and returns the number of newly registered
+// strategies:
+//
+//  1. Registration merge: newly discovered strategies get IDs in global
+//     first-proposer order (shard order, first-proposer order within a
+//     shard) — the order the sequential loop registers them;
+//  2. Entry loads: each shard's entry vector becomes the exact
+//     intermediate load vector the sequential loop would exhibit at the
+//     shard boundary (round-start loads plus the preceding shards'
+//     integer load deltas).
+//
+// After StageDeltas the shards' Replay calls are mutually independent.
+func (st *State) StageDeltas(deltas []*Delta) (newStrategies int) {
 	g := st.g
 
-	// 1. Registration merge: assign IDs in global first-proposer order.
 	for _, d := range deltas {
 		d.newIDs = d.newIDs[:0]
 		for _, s := range d.newStrats {
@@ -218,8 +267,6 @@ func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi 
 		st.EnsureStrategies()
 	}
 
-	// 2. Entry loads: the exact sequential load vector at each shard
-	// boundary, by prefix-summing the integer shard deltas.
 	m := len(g.resources)
 	for i, d := range deltas {
 		d.entry = grow(d.entry, m)
@@ -232,29 +279,18 @@ func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi 
 			}
 		}
 	}
+	return newStrategies
+}
 
-	// 3. Parallel ΔΦ replay: shards are independent given their entry loads.
-	if workers > len(deltas) {
-		workers = len(deltas)
-	}
-	if workers <= 1 {
-		for _, d := range deltas {
-			d.replay()
-		}
-	} else {
-		var wg sync.WaitGroup
-		for _, d := range deltas {
-			wg.Add(1)
-			go func(d *Delta) {
-				defer wg.Done()
-				d.replay()
-			}(d)
-		}
-		wg.Wait()
-	}
-
-	// 4. Commit: fold ΔΦ in shard × player order (the sequential order) and
-	// apply the integer bookkeeping, which is order-independent.
+// CommitDeltas folds the replayed ΔΦ values into phi in shard × player
+// order — the sequential loop's float accumulation order, bit for bit —
+// and applies the integer bookkeeping (assignment, counts, loads), which
+// is order-independent. Every shard must have been staged and replayed.
+// The commit stamps every resource whose load it updates with a fresh
+// mutation epoch, the dirty set RoundView.Sync consumes for incremental
+// snapshot maintenance. phi is taken and returned rather than a lump ΔΦ so
+// the caller cannot accidentally change the fold order.
+func (st *State) CommitDeltas(phi float64, deltas []*Delta) (newPhi float64, movers int) {
 	st.mutEpoch++
 	for _, d := range deltas {
 		for i := range d.moves {
@@ -272,5 +308,5 @@ func (st *State) ApplyDeltas(phi float64, deltas []*Delta, workers int) (newPhi 
 			}
 		}
 	}
-	return phi, movers, newStrategies
+	return phi, movers
 }

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fluidSpec is a small fluid-imitation spec on a random linear singleton
+// instance.
+func fluidSpec() *Spec {
+	return &Spec{
+		Version:  Version,
+		Name:     "fluid-t",
+		Instance: InstanceSpec{Family: "linear-singletons", Params: Params{"m": 4, "n": 256, "maxSlope": 2}},
+		Dynamics: DynamicsSpec{Kind: "fluid-imitation"},
+		Rounds:   40,
+		Reps:     2,
+		Seed:     7,
+		Metrics:  []string{"mean_rounds", "mean_final_potential", "mean_final_max_latency"},
+	}
+}
+
+// TestFluidImitationKindRuns checks the registered kind end to end: it
+// builds from a spec, runs the round budget, and reports finite stats that
+// are invariant under replication parallelism (the fluid model is fully
+// deterministic).
+func TestFluidImitationKindRuns(t *testing.T) {
+	run := func(par int) *Result {
+		t.Helper()
+		res, err := Run(context.Background(), fluidSpec(), Options{Par: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	for i, r := range c.Results {
+		if r.Rounds != 40 {
+			t.Errorf("rep %d ran %d rounds, want the full budget 40", i, r.Rounds)
+		}
+		if !(r.Final.Potential > 0) || !(r.Final.MaxLatency > 0) {
+			t.Errorf("rep %d reports non-positive stats: %+v", i, r.Final)
+		}
+	}
+	if par2 := run(2); par2.Cells[0].Results[1] != c.Results[1] {
+		t.Errorf("fluid results differ across par: %+v vs %+v", par2.Cells[0].Results[1], c.Results[1])
+	}
+}
+
+// TestFluidImitationRejectsNonSingleton pins the validation contract: the
+// mean-field model only covers singleton games, so a network family must
+// fail with an actionable error.
+func TestFluidImitationRejectsNonSingleton(t *testing.T) {
+	s := fluidSpec()
+	s.Instance = InstanceSpec{Family: "braess", Params: Params{"n": 64}}
+	_, err := Run(context.Background(), s, Options{})
+	if err == nil || !strings.Contains(err.Error(), "singleton") {
+		t.Fatalf("non-singleton instance accepted by fluid-imitation: %v", err)
+	}
+}
+
+// TestDriftMetricsEnginePrimary runs the exact engine with a fluid shadow:
+// the drift metrics must produce values in (0, 1] with final ≤ sup.
+func TestDriftMetricsEnginePrimary(t *testing.T) {
+	s := fluidSpec()
+	s.Dynamics = DynamicsSpec{Kind: "imitation", Params: Params{"disableNu": 1}}
+	s.Metrics = []string{"fluid_drift_linf", "fluid_drift_final_linf", "fluid_drift_l1"}
+	res, err := Run(context.Background(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if len(c.Drifts) != s.Reps {
+		t.Fatalf("got %d drift summaries, want %d", len(c.Drifts), s.Reps)
+	}
+	for i, d := range c.Drifts {
+		if d.Rounds != s.Rounds {
+			t.Errorf("rep %d tracked %d rounds, want %d", i, d.Rounds, s.Rounds)
+		}
+		if !(d.SupLinf > 0) || d.SupLinf > 1 {
+			t.Errorf("rep %d SupLinf = %v, want in (0, 1]", i, d.SupLinf)
+		}
+		if d.FinalLinf > d.SupLinf || d.FinalL1 > d.SupL1 {
+			t.Errorf("rep %d final drift exceeds sup: %+v", i, d)
+		}
+	}
+	row := res.Table.Rows[0]
+	if v, err := strconv.ParseFloat(row[0], 64); err != nil || !(v > 0) {
+		t.Errorf("fluid_drift_linf column = %q, want positive float", row[0])
+	}
+}
+
+// TestDriftMetricsFluidPrimary inverts the pairing: fluid-imitation as the
+// primary dynamics, shadowed by an exact engine run.
+func TestDriftMetricsFluidPrimary(t *testing.T) {
+	s := fluidSpec()
+	s.Metrics = []string{"fluid_drift_linf", "fluid_drift_final_l1"}
+	res, err := Run(context.Background(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if len(c.Drifts) != s.Reps {
+		t.Fatalf("got %d drift summaries, want %d", len(c.Drifts), s.Reps)
+	}
+	for i, d := range c.Drifts {
+		if !(d.SupLinf > 0) || d.SupLinf > 1 || d.Rounds != s.Rounds {
+			t.Errorf("rep %d drift summary implausible: %+v", i, d)
+		}
+	}
+}
+
+// TestDriftMetricsRejectSequentialKind: only engine-backed and fluid kinds
+// have a defined mean-field pairing.
+func TestDriftMetricsRejectSequentialKind(t *testing.T) {
+	s := fluidSpec()
+	s.Dynamics = DynamicsSpec{Kind: "goldberg"}
+	s.Metrics = []string{"fluid_drift_linf"}
+	_, err := Run(context.Background(), s, Options{})
+	if err == nil || !strings.Contains(err.Error(), "drift") {
+		t.Fatalf("drift metric on sequential kind accepted: %v", err)
+	}
+}
+
+// TestDynamicsInfoGrouping pins the -list data source: every registered
+// kind appears exactly once, with a non-empty description, under one of
+// the known buckets, and fluid-imitation sits in the mean-field bucket.
+func TestDynamicsInfoGrouping(t *testing.T) {
+	groups := DynamicsInfo()
+	seen := map[string]string{}
+	for _, g := range groups {
+		if g.Group == "other" {
+			t.Errorf("kinds without a Group bucket: %+v", g.Kinds)
+		}
+		for _, k := range g.Kinds {
+			if prev, dup := seen[k.Name]; dup {
+				t.Errorf("kind %s listed under both %s and %s", k.Name, prev, g.Group)
+			}
+			seen[k.Name] = g.Group
+			if k.Desc == "" {
+				t.Errorf("kind %s has no description", k.Name)
+			}
+		}
+	}
+	for _, name := range DynamicsKinds() {
+		if _, ok := seen[name]; !ok {
+			t.Errorf("kind %s missing from DynamicsInfo", name)
+		}
+	}
+	if seen["fluid-imitation"] != GroupFluid {
+		t.Errorf("fluid-imitation grouped under %q, want %q", seen["fluid-imitation"], GroupFluid)
+	}
+	if len(groups) < 3 {
+		t.Errorf("got %d groups, want ≥ 3", len(groups))
+	}
+}

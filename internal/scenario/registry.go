@@ -46,10 +46,22 @@ type Built struct {
 	Inst *workload.Instance
 }
 
+// Group labels for DynKind.Group, in the order listings print them.
+const (
+	GroupEngine     = "concurrent engine"
+	GroupSequential = "sequential baselines"
+	GroupFluid      = "mean-field fluid"
+)
+
 // DynKind builds one named dynamics family over an instance.
 type DynKind struct {
 	// Name is the registry key.
 	Name string
+	// Desc is a one-line human description for listings (cmd/sweep -list).
+	Desc string
+	// Group is the listing bucket the kind prints under; one of the Group*
+	// constants.
+	Group string
 	// Params declares the accepted param names.
 	Params []string
 	// Required names the params that must be declared or swept; validated
@@ -123,6 +135,47 @@ func Families() []string { return sortedKeys(families) }
 // DynamicsKinds returns the registered dynamics names, sorted.
 func DynamicsKinds() []string { return sortedKeys(dynKinds) }
 
+// DynInfo describes one dynamics kind for listings.
+type DynInfo struct{ Name, Desc string }
+
+// DynGroup is one listing bucket of dynamics kinds.
+type DynGroup struct {
+	Group string
+	Kinds []DynInfo
+}
+
+// dynGroupOrder fixes the display order of the listing buckets.
+var dynGroupOrder = []string{GroupEngine, GroupSequential, GroupFluid}
+
+// DynamicsInfo returns the registered dynamics kinds grouped for display:
+// buckets in dynGroupOrder (any unforeseen bucket appended alphabetically),
+// kinds sorted by name within each bucket.
+func DynamicsInfo() []DynGroup {
+	byGroup := map[string][]DynInfo{}
+	for _, name := range DynamicsKinds() {
+		k := dynKinds[name]
+		g := k.Group
+		if g == "" {
+			g = "other"
+		}
+		byGroup[g] = append(byGroup[g], DynInfo{Name: k.Name, Desc: k.Desc})
+	}
+	var out []DynGroup
+	seen := map[string]bool{}
+	for _, g := range dynGroupOrder {
+		if kinds, ok := byGroup[g]; ok {
+			out = append(out, DynGroup{Group: g, Kinds: kinds})
+			seen[g] = true
+		}
+	}
+	for _, g := range sortedKeys(byGroup) {
+		if !seen[g] {
+			out = append(out, DynGroup{Group: g, Kinds: byGroup[g]})
+		}
+	}
+	return out
+}
+
 // StopKinds returns the registered stop-condition names, sorted.
 func StopKinds() []string { return sortedKeys(stopKinds) }
 
@@ -147,6 +200,7 @@ func init() {
 	registerDynamics()
 	registerStops()
 	registerMetrics()
+	registerFluid()
 }
 
 // registerFamilies maps every internal/workload constructor; param names
@@ -286,6 +340,8 @@ func policy(p Params, def baseline.Policy) (baseline.Policy, error) {
 func registerDynamics() {
 	RegisterDynamics(DynKind{
 		Name:   "imitation",
+		Desc:   "the paper's concurrent IMITATION PROTOCOL (λ-damped, ν-thresholded)",
+		Group:  GroupEngine,
 		Params: []string{"lambda", "nu", "disableNu"},
 		Ints:   []string{"disableNu"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, workers int) (Built, error) {
@@ -302,6 +358,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "imitation-undamped",
+		Desc:   "imitation without the λ damping factor (oscillation probe)",
+		Group:  GroupEngine,
 		Params: []string{"lambda", "nu"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, workers int) (Built, error) {
 			proto, err := core.NewUndampedImitation(inst.Game, p.Float("lambda", 0), p.Float("nu", 0))
@@ -317,6 +375,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "imitation-virtual",
+		Desc:   "imitation deciding against virtual post-migration latencies",
+		Group:  GroupEngine,
 		Params: []string{"lambda", "nu", "disableNu"},
 		Ints:   []string{"disableNu"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, workers int) (Built, error) {
@@ -333,6 +393,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "exploration",
+		Desc:   "λ-damped exploration of sampled alternative strategies",
+		Group:  GroupEngine,
 		Params: []string{"lambda", "sampler"},
 		Ints:   []string{"sampler"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, workers int) (Built, error) {
@@ -353,6 +415,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:     "combined",
+		Desc:     "per-round mixture of imitation and exploration",
+		Group:    GroupEngine,
 		Params:   []string{"exploreProb", "lambda", "nu", "disableNu", "sampler"},
 		Required: []string{"exploreProb"},
 		Ints:     []string{"disableNu", "sampler"},
@@ -383,6 +447,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "best-response",
+		Desc:   "one activated player per step moves to a best response",
+		Group:  GroupSequential,
 		Params: []string{"policy"},
 		Ints:   []string{"policy"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, _ int) (Built, error) {
@@ -399,6 +465,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "sequential-imitation",
+		Desc:   "one activated player per step imitates a sampled peer (§3.2)",
+		Group:  GroupSequential,
 		Params: []string{"policy", "minGain"},
 		Ints:   []string{"policy"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, _ int) (Built, error) {
@@ -415,6 +483,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:     "epsilon-greedy",
+		Desc:     "activated player takes an ε-improving better response",
+		Group:    GroupSequential,
 		Params:   []string{"eps"},
 		Required: []string{"eps"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, _ int) (Built, error) {
@@ -431,6 +501,8 @@ func registerDynamics() {
 	})
 	RegisterDynamics(DynKind{
 		Name:   "goldberg",
+		Desc:   "Goldberg's randomized better-response baseline (chunked rounds)",
+		Group:  GroupSequential,
 		Params: []string{"chunk"},
 		Ints:   []string{"chunk"},
 		Build: func(inst *workload.Instance, p Params, seed uint64, _ int) (Built, error) {

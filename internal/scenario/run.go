@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"congame/internal/dynamics"
+	"congame/internal/fluid"
 	"congame/internal/prng"
 	"congame/internal/runner"
 	"congame/internal/sim"
@@ -39,6 +40,10 @@ type CellResult struct {
 	// Trace is the recorded per-round trajectory of the traced
 	// replication, when the spec requests one.
 	Trace *trace.Recorder
+	// Drifts holds the per-replication fluid-vs-exact drift summaries in
+	// replication order, populated only when the spec requests a
+	// fluid_drift_* metric.
+	Drifts []fluid.Drift
 }
 
 // Result is a finished sweep: the rendered table plus the raw cells.
@@ -142,8 +147,13 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 	// stops[rep] is written by New and read by Stop for the same rep on
 	// the same worker goroutine (runner.Run calls them back to back), so
 	// per-replication stop conditions can close over the replication's
-	// own Built context without synchronization.
+	// own Built context without synchronization. trackers follows the
+	// same discipline (written in New, read only after runner.Run joins).
 	stops := make([]dynamics.StopCondition, s.Reps)
+	var trackers []*fluid.DriftTracker
+	if s.wantsDrift() {
+		trackers = make([]*fluid.DriftTracker, s.Reps)
+	}
 	rspec := runner.Spec{
 		Reps:        s.Reps,
 		MaxRounds:   s.Rounds,
@@ -174,6 +184,18 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 					return nil, fmt.Errorf("%w: dynamics %s cannot record traces", ErrInvalid, s.Dynamics.Kind)
 				}
 			}
+			if trackers != nil {
+				tr, err := newDriftTracker(built, cell.Dynamics, s.DynamicsSeed(cell, rep))
+				if err != nil {
+					return nil, err
+				}
+				obs, ok := built.Dyn.(dynamics.Observable)
+				if !ok {
+					return nil, fmt.Errorf("%w: dynamics %s cannot attach a drift tracker", ErrInvalid, s.Dynamics.Kind)
+				}
+				obs.SetObserver(tr)
+				trackers[rep] = tr
+			}
 			return built.Dyn, nil
 		},
 		Stop: func(rep int) dynamics.StopCondition { return stops[rep] },
@@ -191,14 +213,21 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
-	return CellResult{
+	cr := CellResult{
 		Cell:    cell,
 		Reps:    s.Reps,
 		Results: results,
 		Rounds:  summary,
 		Agg:     runner.Summarize(results),
 		Trace:   recorder,
-	}, nil
+	}
+	if trackers != nil {
+		cr.Drifts = make([]fluid.Drift, len(trackers))
+		for i, tr := range trackers {
+			cr.Drifts[i] = tr.Drift()
+		}
+	}
+	return cr, nil
 }
 
 // addRow appends the cell's table row: axis values, then metric values.
