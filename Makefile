@@ -13,9 +13,9 @@
 #     fingerprint of the run that produced it.
 GO ?= go
 
-SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined fluid-vs-exact
+SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined fluid-vs-exact churn-recovery
 
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 # Short per-benchmark run time for the CI gate; `make bench` uses the
 # default 1s for the committed baseline.
 BENCH_GATE_TIME ?= 0.3s
@@ -56,7 +56,7 @@ vet: ## go vet ./...
 fmt: ## Fail if any file needs gofmt.
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench: ## Regenerate the committed benchmark baseline (BENCH_PR6.json).
+bench: ## Regenerate the committed benchmark baseline (BENCH_PR7.json).
 	$(GO) run ./cmd/bench -out $(BENCH_BASELINE)
 
 bench-gate: ## Run the short bench suite and diff it against the committed baseline (CI perf gate).

@@ -12,13 +12,15 @@
 // The run suite (versioned; see suiteVersion) covers the hot paths the
 // repo optimizes: engine/step/* measures one concurrent imitation round
 // at n ∈ {4096, 65536, 262144, 1048576} across worker counts (intra-round
-// sharding), fluid/step/* one mean-field round at m ∈ {8, 64, 512} (flat
-// in n by construction — compare against the engine/step n axis),
-// fluid/vs-exact-n4096 a 60-round engine run with a lockstep drift
+// sharding), engine/step/churn-n65536/* the same round with a recurring
+// net-zero churn schedule applied through the pre-round hook (the live-
+// scenario event path), fluid/step/* one mean-field round at m ∈ {8, 64,
+// 512} (flat in n by construction — compare against the engine/step n
+// axis), fluid/vs-exact-n4096 a 60-round engine run with a lockstep drift
 // tracker (the E15 measurement cell), weighted/step/* one weighted round,
 // runner/* replication fan-out through internal/runner, sweep/* a single
 // scenario cell end to end, and sim/E1/* a full experiment regeneration.
-// `make bench` regenerates the committed BENCH_PR6.json baseline; plain
+// `make bench` regenerates the committed BENCH_PR7.json baseline; plain
 // runs default to bench.json so a local run cannot clobber the committed
 // baselines.
 //
@@ -45,6 +47,7 @@ import (
 
 	"congame/internal/core"
 	"congame/internal/dynamics"
+	"congame/internal/events"
 	"congame/internal/fluid"
 	"congame/internal/latency"
 	"congame/internal/prng"
@@ -58,7 +61,7 @@ import (
 // suiteVersion identifies the benchmark suite layout. Bump it when
 // benchmarks are added, removed, or change meaning; compare warns when
 // diffing reports from different suite versions.
-const suiteVersion = 6
+const suiteVersion = 7
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -195,6 +198,16 @@ func suite() []namedBench {
 		}
 	}
 
+	// The live-scenario event path: the n = 65536 round with a recurring
+	// net-zero churn schedule (32 arrivals + 32 departures per round)
+	// folded in through the pre-round hook.
+	for _, w := range workerCounts {
+		w := w
+		add(fmt.Sprintf("engine/step/churn-n65536/w%d", w), func(b *testing.B) {
+			benchEngineChurnStep(b, 65536, w)
+		})
+	}
+
 	// Axis 2: replication fan-out — 8 replications of a mid-size
 	// imitation run per op, folded through the runner.
 	parCounts := []int{1, 2}
@@ -268,6 +281,50 @@ func benchEngineStep(b *testing.B, n, workers int) {
 		dyn.Step()
 		b.StartTimer()
 		dyn.Step()
+	}
+}
+
+// benchEngineChurnStep is benchEngineStep plus a recurring net-zero churn
+// schedule: every round the pre-round hook adds 32 players to strategy 1
+// and removes 32 again (slice order), so n is restored before the decide
+// phase and the number isolates the event-application overhead on top of
+// the plain round.
+func benchEngineChurnStep(b *testing.B, n, workers int) {
+	inst, err := workload.HeavyTraffic(n, 64, prng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := core.NewImitation(inst.Game, core.ImitationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := events.NewSchedule([]events.Event{
+		{Round: 0, Every: 1, Kind: events.Arrive, Count: 32, Strategy: 1},
+		{Round: 0, Every: 1, Kind: events.Depart, Count: 32, Strategy: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := inst.State.Clone()
+		e, err := core.NewEngine(st, im, core.WithSeed(1), core.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dyn := dynamics.FromEngine(e)
+		if err := dyn.SetEvents(sched); err != nil {
+			b.Fatal(err)
+		}
+		dyn.Step()
+		dyn.Step()
+		b.StartTimer()
+		dyn.Step()
+	}
+	if got := inst.Game.NumPlayers(); got != n {
+		b.Fatalf("net-zero churn drifted the population: n = %d, want %d", got, n)
 	}
 }
 

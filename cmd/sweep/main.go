@@ -16,8 +16,8 @@
 // text). -par and -workers override the spec's two parallelism axes;
 // like everywhere else in this repo they only change wall-clock time —
 // sweep output is bit-identical for every setting. -list prints the
-// registered instance families, dynamics kinds, stop conditions, and
-// metrics, then exits.
+// registered instance families, dynamics kinds, stop conditions, event
+// kinds, and metrics, then exits.
 package main
 
 import (
@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"congame/internal/events"
 	"congame/internal/scenario"
 )
 
@@ -225,5 +226,9 @@ func printRegistries(w io.Writer) {
 		}
 	}
 	section("stop conditions", scenario.StopKinds())
+	fmt.Fprintf(w, "event kinds (version 2 \"events\" schedule):\n")
+	for _, k := range events.Kinds() {
+		fmt.Fprintf(w, "  %-15s %s\n", k.Name, k.Desc)
+	}
 	section("metrics", scenario.MetricNames())
 }

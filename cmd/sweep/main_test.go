@@ -42,6 +42,12 @@ stop conditions:
   none
   potential-at-most
   quiet
+event kinds (version 2 "events" schedule):
+  add-link        append a new link and register strategies over it (one-shot)
+  arrive          add count players to a strategy (churn source; rate via every)
+  depart          remove up to count players from a strategy (churn sink; clamped)
+  latency-scale   multiply a link's latency function by factor (rush hour)
+  remove-link     retire strategies using a link; players move to fallback (one-shot)
 metrics:
   ci95_rounds
   converged

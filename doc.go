@@ -82,6 +82,23 @@
 // experiment E15), and the scenario registry exposes the backend as the
 // "fluid-imitation" dynamics kind with fluid_drift_* metrics
 // (DESIGN.md §9).
+//
+// # Live scenarios
+//
+// internal/events adds deterministic between-round event schedules:
+// population churn (player arrivals and departures, with a rate knob),
+// time-varying latency (rush-hour amplification of a link's function),
+// and topology mutation (adding links with new strategies, removing
+// links by retiring the strategies that use them). Game state supports
+// dynamic n and all of these in-place with exact incremental potential
+// updates; schedules apply through the engine's pre-round hook, so
+// evented runs keep the bit-identical determinism contract across all
+// worker counts, and a differential test wall pins every mutation
+// against from-scratch rebuilds. Version-2 scenario specs carry an
+// "events" block (both the exact engine and the fluid backend accept
+// it), and experiment E16 measures re-equilibration time after each
+// shock kind (DESIGN.md §10).
+//
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds
@@ -95,10 +112,11 @@
 //	internal/netopt     Frank–Wolfe flows: Wardrop equilibria, system optima
 //	internal/fluid      mean-field imitation dynamics (n→∞ ODE backend)
 //	internal/weighted   weighted-players extension
+//	internal/events     between-round event schedules (churn, topology)
 //	internal/dynamics   unified Dynamics interface + per-family adapters
 //	internal/runner     replication-parallel executor (deterministic folds)
 //	internal/workload   named instance families
-//	internal/sim        experiment registry E1–E15 and table rendering
+//	internal/sim        experiment registry E1–E16 and table rendering
 //	internal/scenario   declarative scenario specs + parameter-sweep engine
 //	internal/stats      summary statistics and scaling fits
 //	internal/trace      trajectory recording, CSV, sparklines

@@ -76,6 +76,7 @@ type Engine struct {
 	phi       float64
 	moves     int
 	observers []RoundObserver
+	preRound  PreRoundHook
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
 	deltas    []*game.Delta    // one private migration buffer per worker
@@ -116,6 +117,25 @@ func WithObserver(obs RoundObserver) Option {
 		}
 	}
 }
+
+// PreRoundHook mutates the engine's state between rounds — the event
+// schedule's entry point (internal/events). It runs at the very top of
+// Step, before the round's player count is read and before the RoundView
+// refresh, on the engine goroutine (never concurrently with workers). It
+// returns the exact potential change ΔΦ of its mutations and whether it
+// mutated anything; the engine folds ΔΦ into its incrementally maintained
+// potential, so a hook that computes ΔΦ incorrectly corrupts the reported
+// trajectory (the state itself stays consistent).
+type PreRoundHook func(round int, st *game.State) (dphi float64, mutated bool)
+
+// WithPreRound installs a pre-round mutation hook (see PreRoundHook).
+func WithPreRound(hook PreRoundHook) Option {
+	return func(e *Engine) { e.preRound = hook }
+}
+
+// SetPreRound installs (or, with nil, removes) the pre-round mutation hook
+// after construction. Rounds already executed are unaffected.
+func (e *Engine) SetPreRound(hook PreRoundHook) { e.preRound = hook }
 
 // AddObserver registers a per-round observer after construction. Rounds
 // already executed are not replayed; observers only see rounds stepped
@@ -231,6 +251,17 @@ func (e *Engine) delta(w int) *game.Delta {
 // State.Move) lives in package game, where differential tests pin
 // ApplyDeltas against it.
 func (e *Engine) Step() RoundStats {
+	// Apply scheduled between-round mutations (churn, latency shifts,
+	// topology events) before anything reads the round's population or
+	// latencies. The hook runs sequentially on this goroutine, so the
+	// resulting state — and hence the round — is identical for every
+	// worker count.
+	if e.preRound != nil {
+		if dphi, mutated := e.preRound(e.round, e.st); mutated {
+			e.st.EnsureStrategies()
+			e.phi += dphi
+		}
+	}
 	n := e.st.Game().NumPlayers()
 
 	// One immutable RoundView shared by all workers — the incremental

@@ -182,14 +182,26 @@ func NewRegisteredSampler(g *game.Game) *RegisteredSampler {
 	return &RegisteredSampler{g: g}
 }
 
-// SampleStrategy implements Sampler.
+// SampleStrategy implements Sampler. Strategies retired by topology events
+// are skipped by rejection sampling; with no retirements the first draw is
+// always accepted, so the consumed random stream — and hence the
+// trajectory — of an event-free run is unchanged.
 func (rs *RegisteredSampler) SampleStrategy(rng *rand.Rand) []int {
-	return rs.g.Strategy(rng.Intn(rs.g.NumStrategies()))
+	g := rs.g
+	if g.NumRetired() == 0 {
+		return g.Strategy(rng.Intn(g.NumStrategies()))
+	}
+	for {
+		s := rng.Intn(g.NumStrategies())
+		if !g.StrategyRetired(s) {
+			return g.Strategy(s)
+		}
+	}
 }
 
 // StrategySpaceSize implements Sampler.
 func (rs *RegisteredSampler) StrategySpaceSize() float64 {
-	return float64(rs.g.NumStrategies())
+	return float64(rs.g.NumStrategies() - rs.g.NumRetired())
 }
 
 // NetworkSampler samples uniformly among ALL s–t paths of a DAG network,

@@ -2,6 +2,7 @@ package dynamics
 
 import (
 	"congame/internal/core"
+	"congame/internal/events"
 	"congame/internal/game"
 )
 
@@ -32,6 +33,22 @@ func (a *Engine) Engine() *core.Engine { return a.e }
 // SetObserver implements Observable by registering the observer with the
 // wrapped engine; it sees every round stepped from now on.
 func (a *Engine) SetObserver(obs core.RoundObserver) { a.e.AddObserver(obs) }
+
+// SetEvents validates the event schedule against the engine's instance
+// and installs it as the engine's pre-round hook, so scheduled mutations
+// (churn, latency shifts, topology events) apply before each round's
+// decide phase. A nil schedule removes the hook.
+func (a *Engine) SetEvents(s *events.Schedule) error {
+	if s == nil {
+		a.e.SetPreRound(nil)
+		return nil
+	}
+	if err := s.ValidateFor(a.e.State().Game()); err != nil {
+		return err
+	}
+	a.e.SetPreRound(s.Hook())
+	return nil
+}
 
 // State returns the engine's live state.
 func (a *Engine) State() *game.State { return a.e.State() }

@@ -1,7 +1,10 @@
 package dynamics
 
 import (
+	"fmt"
+
 	"congame/internal/core"
+	"congame/internal/events"
 	"congame/internal/fluid"
 )
 
@@ -26,6 +29,7 @@ type Fluid struct {
 	sim      *fluid.Sim
 	quietTol float64
 	obs      []core.RoundObserver
+	events   *events.Schedule
 }
 
 var _ Dynamics = (*Fluid)(nil)
@@ -58,6 +62,94 @@ func (f *Fluid) SetObserver(obs core.RoundObserver) {
 	}
 }
 
+// SetEvents validates and installs an event schedule whose mean-field
+// counterparts apply before each fluid round: churn becomes a mass
+// source/sink with a population rescale, latency-scale wraps the link
+// function, and topology events grow or drain the mass vector. The fluid
+// model identifies strategies with links (FromGame requires singleton
+// games, and the instance families register strategies in link order), so
+// the schedule's strategy indices are read as link indices; add-link
+// events may only register singleton strategies here. A nil schedule
+// removes the events.
+func (f *Fluid) SetEvents(s *events.Schedule) error {
+	if s == nil {
+		f.events = nil
+		return nil
+	}
+	curM := len(f.sim.Mass())
+	for i, ev := range s.Events() {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%w: event %d (%s): %s", fluid.ErrInvalid, i, ev.Kind, fmt.Sprintf(format, args...))
+		}
+		switch ev.Kind {
+		case events.Arrive, events.Depart:
+			if ev.Strategy >= curM {
+				return fail("link %d out of range [0,%d)", ev.Strategy, curM)
+			}
+		case events.LatencyScale:
+			if ev.Resource >= curM {
+				return fail("link %d out of range [0,%d)", ev.Resource, curM)
+			}
+		case events.AddLink:
+			curM++
+			for j, set := range ev.Strategies {
+				if len(set) != 1 {
+					return fail("strategy %d spans %d resources — the mean-field model is singleton-only", j, len(set))
+				}
+				if set[0] >= curM {
+					return fail("strategy %d references link %d, have %d after this event", j, set[0], curM)
+				}
+			}
+		case events.RemoveLink:
+			if ev.Resource >= curM {
+				return fail("link %d out of range [0,%d)", ev.Resource, curM)
+			}
+			if ev.Fallback >= curM {
+				return fail("fallback link %d out of range [0,%d)", ev.Fallback, curM)
+			}
+			if ev.Fallback == ev.Resource {
+				return fail("fallback link equals the removed link %d", ev.Resource)
+			}
+		}
+	}
+	f.events = s
+	return nil
+}
+
+// applyEvents applies the mean-field counterpart of every event firing
+// before the upcoming round. The schedule was validated by SetEvents, so
+// a failure here is a programming bug and panics (same contract as the
+// engine hook).
+func (f *Fluid) applyEvents() {
+	if f.events == nil {
+		return
+	}
+	round := f.sim.Round()
+	err := f.events.EachActive(round, func(ev events.Event) error {
+		switch ev.Kind {
+		case events.Arrive:
+			return f.sim.Arrive(ev.Strategy, ev.Count)
+		case events.Depart:
+			return f.sim.Depart(ev.Strategy, ev.Count)
+		case events.LatencyScale:
+			return f.sim.ScaleLatency(ev.Resource, ev.Factor)
+		case events.AddLink:
+			fn, err := ev.Latency.Build()
+			if err != nil {
+				return err
+			}
+			return f.sim.AddLink(fn)
+		case events.RemoveLink:
+			return f.sim.RemoveLink(ev.Resource, ev.Fallback)
+		default:
+			return fmt.Errorf("unknown kind %q", ev.Kind)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dynamics: unvalidated fluid event schedule failed at round %d: %v", round, err))
+	}
+}
+
 // convert maps fluid round statistics onto the unified vocabulary.
 func (f *Fluid) convert(s fluid.RoundStats) RoundStats {
 	movers := 0
@@ -73,8 +165,10 @@ func (f *Fluid) convert(s fluid.RoundStats) RoundStats {
 	}
 }
 
-// Step executes one unit-time fluid round.
+// Step executes one unit-time fluid round, applying any scheduled events
+// first (see SetEvents).
 func (f *Fluid) Step() RoundStats {
+	f.applyEvents()
 	st := f.convert(f.sim.Step())
 	for _, obs := range f.obs {
 		obs.Observe(core.RoundStats(st))

@@ -1,0 +1,433 @@
+package events_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"congame/internal/core"
+	"congame/internal/events"
+	"congame/internal/game"
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// testGame builds a small singleton game with affine links for the
+// schedule tests; n players over m links, everyone starting on link 0.
+func testGame(t testing.TB, n, m int) *game.State {
+	t.Helper()
+	resources := make([]game.Resource, m)
+	strategies := make([][]int, m)
+	for e := 0; e < m; e++ {
+		f, err := latency.NewAffine(1+float64(e), float64(e)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[e] = game.Resource{Name: fmt.Sprintf("l%d", e), Latency: f}
+		strategies[e] = []int{e}
+	}
+	g, err := game.New(game.Config{Resources: resources, Players: n, Strategies: strategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := game.NewState(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func lat(kind string, a, b float64) *events.LatencySpec {
+	return &events.LatencySpec{Kind: kind, A: a, B: b}
+}
+
+// TestConstructorErrorsAreNamedAndWrapped pins the package's error
+// contract: every invalid schedule is rejected with an error wrapping
+// events.ErrInvalid, never a panic (the same contract the workload
+// constructors follow).
+func TestConstructorErrorsAreNamedAndWrapped(t *testing.T) {
+	cases := []struct {
+		name string
+		evts []events.Event
+	}{
+		{"empty", nil},
+		{"negative round", []events.Event{{Round: -1, Kind: events.Arrive, Count: 1}}},
+		{"negative every", []events.Event{{Round: 0, Every: -2, Kind: events.Arrive, Count: 1}}},
+		{"missing kind", []events.Event{{Round: 0}}},
+		{"unknown kind", []events.Event{{Round: 0, Kind: "evaporate"}}},
+		{"arrive zero count", []events.Event{{Round: 0, Kind: events.Arrive}}},
+		{"arrive negative strategy", []events.Event{{Round: 0, Kind: events.Arrive, Count: 1, Strategy: -1}}},
+		{"arrive with factor", []events.Event{{Round: 0, Kind: events.Arrive, Count: 1, Factor: 2}}},
+		{"depart with latency", []events.Event{{Round: 0, Kind: events.Depart, Count: 1, Latency: lat("linear", 1, 0)}}},
+		{"scale zero factor", []events.Event{{Round: 0, Kind: events.LatencyScale}}},
+		{"scale nan factor", []events.Event{{Round: 0, Kind: events.LatencyScale, Factor: math.NaN()}}},
+		{"scale inf factor", []events.Event{{Round: 0, Kind: events.LatencyScale, Factor: math.Inf(1)}}},
+		{"scale with count", []events.Event{{Round: 0, Kind: events.LatencyScale, Factor: 2, Count: 3}}},
+		{"recurring add-link", []events.Event{{Round: 0, Every: 5, Kind: events.AddLink, Latency: lat("linear", 1, 0)}}},
+		{"add-link missing latency", []events.Event{{Round: 0, Kind: events.AddLink}}},
+		{"add-link bad latency kind", []events.Event{{Round: 0, Kind: events.AddLink, Latency: lat("cubic", 1, 3)}}},
+		{"add-link bad latency params", []events.Event{{Round: 0, Kind: events.AddLink, Latency: lat("linear", -1, 0)}}},
+		{"add-link empty strategy", []events.Event{{Round: 0, Kind: events.AddLink, Latency: lat("linear", 1, 0), Strategies: [][]int{{}}}}},
+		{"add-link negative resource", []events.Event{{Round: 0, Kind: events.AddLink, Latency: lat("linear", 1, 0), Strategies: [][]int{{-1}}}}},
+		{"recurring remove-link", []events.Event{{Round: 0, Every: 3, Kind: events.RemoveLink, Resource: 1}}},
+		{"remove-link negative fallback", []events.Event{{Round: 0, Kind: events.RemoveLink, Resource: 1, Fallback: -1}}},
+		{"unsorted rounds", []events.Event{
+			{Round: 5, Kind: events.Arrive, Count: 1},
+			{Round: 2, Kind: events.Depart, Count: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := events.NewSchedule(tc.evts)
+			if err == nil {
+				t.Fatalf("NewSchedule accepted %v", tc.evts)
+			}
+			if !errors.Is(err, events.ErrInvalid) {
+				t.Fatalf("error %q does not wrap events.ErrInvalid", err)
+			}
+			if s != nil {
+				t.Fatal("non-nil schedule alongside an error")
+			}
+		})
+	}
+}
+
+// TestParse pins JSON decoding: valid schedules round-trip, unknown
+// fields and malformed JSON are rejected with wrapped errors.
+func TestParse(t *testing.T) {
+	s, err := events.Parse([]byte(`[
+		{"round": 3, "every": 2, "kind": "arrive", "count": 4, "strategy": 1},
+		{"round": 5, "kind": "latency-scale", "resource": 0, "factor": 2.5},
+		{"round": 7, "kind": "add-link", "latency": {"kind": "affine", "a": 1, "b": 0.5}, "strategies": [[3]]},
+		{"round": 9, "kind": "remove-link", "resource": 1, "fallback": 0}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("parsed %d events, want 4", s.Len())
+	}
+	evs := s.Events()
+	if evs[0].Kind != events.Arrive || evs[0].Every != 2 || evs[0].Count != 4 {
+		t.Fatalf("event 0 mangled: %+v", evs[0])
+	}
+	for _, bad := range []string{
+		`{"round": 1}`, // not an array
+		`[{"round": 1, "kind": "arrive", "count": 1, "bogus": 2}]`, // unknown field
+		`[{"round": 1, "kind": "arrive", "count": "three"}]`,       // wrong type
+		`[`,  // truncated
+		`[]`, // empty
+		`[{"kind": "arrive", "count": 1, "factor": 3, "round": 0}]`, // misplaced knob
+	} {
+		if _, err := events.Parse([]byte(bad)); !errors.Is(err, events.ErrInvalid) {
+			t.Errorf("Parse(%q) = %v, want wrapped ErrInvalid", bad, err)
+		}
+	}
+}
+
+// TestValidateFor pins the static per-instance validation: index ranges,
+// retirement interactions, and the churn/class restriction, all caught
+// before a run starts.
+func TestValidateFor(t *testing.T) {
+	st := testGame(t, 24, 4)
+	g := st.Game()
+	cases := []struct {
+		name string
+		evts []events.Event
+		want string // substring of the error, "" = valid
+	}{
+		{"valid mixed", []events.Event{
+			{Round: 1, Every: 3, Kind: events.Arrive, Count: 2, Strategy: 1},
+			{Round: 2, Every: 3, Kind: events.Depart, Count: 2, Strategy: 1},
+			{Round: 4, Kind: events.LatencyScale, Resource: 2, Factor: 3},
+			{Round: 6, Kind: events.AddLink, Latency: lat("linear", 1, 0), Strategies: [][]int{{4}}},
+			{Round: 8, Kind: events.RemoveLink, Resource: 0, Fallback: 1},
+		}, ""},
+		{"arrive out of range", []events.Event{
+			{Round: 1, Kind: events.Arrive, Count: 1, Strategy: 9},
+		}, "out of range"},
+		{"scale out of range", []events.Event{
+			{Round: 1, Kind: events.LatencyScale, Resource: 4, Factor: 2},
+		}, "out of range"},
+		{"new link usable after add", []events.Event{
+			{Round: 1, Kind: events.AddLink, Latency: lat("linear", 1, 0), Strategies: [][]int{{4}}},
+			{Round: 2, Kind: events.LatencyScale, Resource: 4, Factor: 2},
+		}, ""},
+		{"new link unusable before add", []events.Event{
+			{Round: 1, Kind: events.LatencyScale, Resource: 4, Factor: 2},
+			{Round: 2, Kind: events.AddLink, Latency: lat("linear", 1, 0)},
+		}, "out of range"},
+		{"arrive onto retired", []events.Event{
+			{Round: 1, Kind: events.RemoveLink, Resource: 2, Fallback: 0},
+			{Round: 3, Kind: events.Arrive, Count: 1, Strategy: 2},
+		}, "retired"},
+		{"recurring arrive retired later", []events.Event{
+			{Round: 1, Every: 2, Kind: events.Arrive, Count: 1, Strategy: 2},
+			{Round: 5, Kind: events.RemoveLink, Resource: 2, Fallback: 0},
+		}, "later remove-link"},
+		{"fallback uses removed link", []events.Event{
+			{Round: 1, Kind: events.RemoveLink, Resource: 2, Fallback: 2},
+		}, "uses the removed resource"},
+		{"fallback retired earlier", []events.Event{
+			{Round: 1, Kind: events.RemoveLink, Resource: 2, Fallback: 0},
+			{Round: 2, Kind: events.RemoveLink, Resource: 1, Fallback: 2},
+		}, "retired"},
+		{"add-link revives", []events.Event{
+			{Round: 1, Kind: events.RemoveLink, Resource: 2, Fallback: 0},
+			{Round: 3, Kind: events.AddLink, Latency: lat("linear", 1, 0), Strategies: [][]int{{2}}},
+			{Round: 5, Kind: events.Arrive, Count: 1, Strategy: 2},
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := events.NewSchedule(tc.evts)
+			if err != nil {
+				t.Fatalf("structural validation rejected the case: %v", err)
+			}
+			err = s.ValidateFor(g)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("validated")
+			}
+			if !errors.Is(err, events.ErrInvalid) {
+				t.Fatalf("error %q does not wrap events.ErrInvalid", err)
+			}
+		})
+	}
+
+	// Churn on a multi-class game is rejected.
+	f, err := latency.NewLinear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := game.New(game.Config{
+		Resources:  []game.Resource{{Name: "a", Latency: f}, {Name: "b", Latency: f}},
+		Players:    4,
+		Strategies: [][]int{{0}, {1}},
+		ClassOf:    []int{0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := events.NewSchedule([]events.Event{{Round: 1, Kind: events.Arrive, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateFor(mg); err == nil || !errors.Is(err, events.ErrInvalid) {
+		t.Fatalf("churn on a multi-class game validated: %v", err)
+	}
+}
+
+// TestApplyRoundSemantics drives one schedule of every kind through
+// ApplyRound and checks counts, clamping, topology growth, and that the
+// returned ΔΦ matches the recomputed potential exactly at every firing.
+func TestApplyRoundSemantics(t *testing.T) {
+	st := testGame(t, 10, 3)
+	g := st.Game()
+	s, err := events.NewSchedule([]events.Event{
+		{Round: 1, Every: 2, Kind: events.Arrive, Count: 3, Strategy: 2},
+		{Round: 2, Kind: events.Depart, Count: 500, Strategy: 0}, // clamps to the 10 players there
+		{Round: 3, Kind: events.LatencyScale, Resource: 0, Factor: 2},
+		{Round: 4, Kind: events.AddLink, Latency: lat("affine", 0.5, 1), Strategies: [][]int{{3}}},
+		{Round: 5, Kind: events.RemoveLink, Resource: 1, Fallback: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateFor(g); err != nil {
+		t.Fatal(err)
+	}
+	phi := st.Potential()
+	for round := 0; round <= 6; round++ {
+		applied, dphi, err := s.ApplyRound(round, st)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		phi += dphi
+		if full := st.Potential(); math.Abs(phi-full) > 1e-9*math.Max(1, math.Abs(full)) {
+			t.Fatalf("round %d: folded ΔΦ drifted: %v vs recomputed %v", round, phi, full)
+		}
+		if want := s.ActiveAt(round); (applied > 0) != want {
+			t.Fatalf("round %d: applied %d, ActiveAt %v", round, applied, want)
+		}
+		switch round {
+		case 1:
+			if g.NumPlayers() != 13 || st.Count(2) != 3 {
+				t.Fatalf("round 1: n = %d, count(2) = %d", g.NumPlayers(), st.Count(2))
+			}
+		case 2:
+			// 10 players started on 0; the depart clamps to all of them.
+			if st.Count(0) != 0 || g.NumPlayers() != 3 {
+				t.Fatalf("round 2: count(0) = %d, n = %d", st.Count(0), g.NumPlayers())
+			}
+		case 4:
+			if g.NumResources() != 4 || g.NumStrategies() != 4 {
+				t.Fatalf("round 4: m = %d, k = %d", g.NumResources(), g.NumStrategies())
+			}
+		case 5:
+			if !g.StrategyRetired(1) {
+				t.Fatal("round 5: strategy over the removed link not retired")
+			}
+			if st.Count(1) != 0 {
+				t.Fatalf("round 5: %d players stranded on the retired strategy", st.Count(1))
+			}
+		}
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Recurring arrival fired at rounds 1, 3, 5 (every 2): 3×3 players in,
+	// 10 out at round 2.
+	if g.NumPlayers() != 10+9-10 {
+		t.Fatalf("final n = %d, want 9", g.NumPlayers())
+	}
+}
+
+// TestKindsListing pins the CLI listing: alphabetical, one entry per
+// kind, with descriptions.
+func TestKindsListing(t *testing.T) {
+	ks := events.Kinds()
+	if len(ks) != 5 {
+		t.Fatalf("got %d kinds, want 5", len(ks))
+	}
+	for i, k := range ks {
+		if k.Name == "" || k.Desc == "" {
+			t.Fatalf("kind %d has empty name or description", i)
+		}
+		if i > 0 && ks[i-1].Name >= k.Name {
+			t.Fatalf("kinds not in alphabetical order: %q before %q", ks[i-1].Name, k.Name)
+		}
+	}
+}
+
+// eventfulEngine builds a deterministic engine + validated schedule pair
+// for the worker-invariance test. Every call constructs an identical
+// instance (the schedule mutates the game, so worker counts cannot share
+// one).
+func eventfulEngine(t testing.TB, workers int) (*core.Engine, *events.Schedule) {
+	t.Helper()
+	st := testGame(t, 300, 5)
+	// Spread the players out deterministically first.
+	rng := prng.New(41)
+	for p := 0; p < 300; p++ {
+		st.Move(p, rng.Intn(5))
+	}
+	g := st.Game()
+	s, err := events.NewSchedule([]events.Event{
+		{Round: 2, Every: 3, Kind: events.Arrive, Count: 7, Strategy: 1},
+		{Round: 3, Every: 4, Kind: events.Depart, Count: 5, Strategy: 2},
+		{Round: 5, Every: 6, Kind: events.LatencyScale, Resource: 0, Factor: 1.5},
+		{Round: 8, Kind: events.AddLink, Latency: lat("affine", 0.75, 0.25), Strategies: [][]int{{5}}},
+		{Round: 12, Kind: events.RemoveLink, Resource: 3, Fallback: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateFor(g); err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.NewImitation(g, core.ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(st, proto,
+		core.WithSeed(97), core.WithWorkers(workers), core.WithPreRound(s.Hook()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+// TestEngineWorkerInvariantUnderEvents pins the tentpole determinism
+// claim: a run under a full event schedule (churn, latency shifts, and
+// both topology mutations) produces a bit-identical trajectory for every
+// worker count, and the engine's incrementally folded potential matches a
+// full recompute at the end.
+func TestEngineWorkerInvariantUnderEvents(t *testing.T) {
+	const rounds = 30
+	type outcome struct {
+		assign []int32
+		phi    float64
+		n      int
+	}
+	run := func(workers int) outcome {
+		e, _ := eventfulEngine(t, workers)
+		for i := 0; i < rounds; i++ {
+			e.Step()
+		}
+		st := e.State()
+		return outcome{
+			assign: append([]int32(nil), st.AssignmentView()...),
+			phi:    e.Potential(),
+			n:      st.Game().NumPlayers(),
+		}
+	}
+	want := run(1)
+	if full := run(1).phi; want.phi != full {
+		t.Fatalf("workers=1 rerun diverged: %v vs %v", want.phi, full)
+	}
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		if got.n != want.n {
+			t.Fatalf("workers=%d: n = %d, workers=1 has %d", workers, got.n, want.n)
+		}
+		if got.phi != want.phi {
+			t.Fatalf("workers=%d: potential %v, workers=1 has %v", workers, got.phi, want.phi)
+		}
+		if len(got.assign) != len(want.assign) {
+			t.Fatalf("workers=%d: %d players, workers=1 has %d", workers, len(got.assign), len(want.assign))
+		}
+		for p := range got.assign {
+			if got.assign[p] != want.assign[p] {
+				t.Fatalf("workers=%d: player %d on %d, workers=1 has %d", workers, p, got.assign[p], want.assign[p])
+			}
+		}
+	}
+	// The folded incremental potential (protocol moves + event ΔΦ) must
+	// track a full recompute.
+	e, _ := eventfulEngine(t, 2)
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+	phi, full := e.Potential(), e.State().Potential()
+	if math.Abs(phi-full) > 1e-8*math.Max(1, math.Abs(full)) {
+		t.Fatalf("incremental potential drifted: folded %v, recomputed %v", phi, full)
+	}
+}
+
+// BenchmarkScheduleApply measures the per-round cost of a net-zero churn
+// schedule (the same shape the engine bench uses): one arrival batch and
+// one departure batch every round.
+func BenchmarkScheduleApply(b *testing.B) {
+	st := testGame(b, 4096, 8)
+	rng := prng.New(7)
+	for p := 0; p < 4096; p++ {
+		st.Move(p, rng.Intn(8))
+	}
+	s, err := events.NewSchedule([]events.Event{
+		{Round: 0, Every: 1, Kind: events.Arrive, Count: 32, Strategy: 1},
+		{Round: 0, Every: 1, Kind: events.Depart, Count: 32, Strategy: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.ValidateFor(st.Game()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ApplyRound(i, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n := st.Game().NumPlayers(); n != 4096 {
+		b.Fatalf("net-zero churn drifted the population to %d", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"congame/internal/core"
+	"congame/internal/events"
 	"congame/internal/game"
 	"congame/internal/latency"
 	"congame/internal/prng"
@@ -115,6 +116,94 @@ func TestDriftShrinksWithN(t *testing.T) {
 	for i := 1; i < len(sups); i++ {
 		if !(sups[i] < sups[i-1]) {
 			t.Errorf("drift did not shrink: n=%d sup %v, n=%d sup %v",
+				ns[i-1], sups[i-1], ns[i], sups[i])
+		}
+	}
+}
+
+// TestDriftShrinksWithNUnderChurn re-runs the fluid-limit law check with a
+// population source/sink schedule active: a burst arrival, a recurring
+// trickle, and a burst departure, all with counts proportional to n so
+// every population size sees the same mean-field perturbation. The engine
+// applies the schedule through its pre-round hook; the fluid simulator
+// mirrors each firing as a mass source/sink with a population rescale. The
+// sup-over-rounds L∞ drift must stay inside the same O(n^{-1/2}) envelope
+// and shrink monotonically with n — churn does not break the fluid limit.
+func TestDriftShrinksWithNUnderChurn(t *testing.T) {
+	ns := []int{1 << 16, 1 << 18, 1 << 20}
+	if testing.Short() {
+		ns = ns[:1]
+	}
+	const rounds = 60
+	sups := make([]float64, 0, len(ns))
+	for _, n := range ns {
+		g, st := driftInstance(t, n)
+		sys, err := FromGame(g, core.DefaultLambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSim(sys, EmpiricalDistribution(st, nil), SimConfig{Substeps: 1, Euler: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := events.NewSchedule([]events.Event{
+			{Round: 10, Kind: events.Arrive, Count: n / 16, Strategy: 1},
+			{Round: 20, Every: 10, Kind: events.Arrive, Count: n / 64, Strategy: 0},
+			{Round: 35, Kind: events.Depart, Count: n / 16, Strategy: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.ValidateFor(g); err != nil {
+			t.Fatal(err)
+		}
+		im, err := core.NewImitation(g, core.ImitationConfig{DisableNu: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(st, im,
+			core.WithSeed(prng.Mix(9, uint64(n))), core.WithPreRound(sched.Hook()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sup float64
+		buf := make([]float64, len(driftCoeffs))
+		for r := 0; r < rounds; r++ {
+			// Mirror the schedule on the fluid side before stepping both.
+			err := sched.EachActive(r, func(ev events.Event) error {
+				switch ev.Kind {
+				case events.Arrive:
+					return sim.Arrive(ev.Strategy, ev.Count)
+				case events.Depart:
+					return sim.Depart(ev.Strategy, ev.Count)
+				default:
+					return fmt.Errorf("unexpected kind %q", ev.Kind)
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d round %d: %v", n, r, err)
+			}
+			eng.Step()
+			sim.Step()
+			buf = EmpiricalDistribution(st, buf)
+			for e, ye := range sim.Mass() {
+				if d := math.Abs(buf[e] - ye); d > sup {
+					sup = d
+				}
+			}
+		}
+		if !(sup > 0) {
+			t.Fatalf("n=%d: implausible zero drift under churn", n)
+		}
+		if bound := 8 / math.Sqrt(float64(n)); sup > bound {
+			t.Errorf("n=%d: SupLinf = %v exceeds the O(n^{-1/2}) envelope %v", n, sup, bound)
+		}
+		t.Logf("n=%d: SupLinf=%.5f under churn", n, sup)
+		sups = append(sups, sup)
+	}
+	for i := 1; i < len(sups); i++ {
+		if !(sups[i] < sups[i-1]) {
+			t.Errorf("drift under churn did not shrink: n=%d sup %v, n=%d sup %v",
 				ns[i-1], sups[i-1], ns[i], sups[i])
 		}
 	}

@@ -1,0 +1,254 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"congame/internal/latency"
+	"congame/internal/prng"
+)
+
+// rebuiltState reconstructs the mutated instance from scratch: a fresh
+// Game built from the live game's current resources, strategy universe,
+// player count, and (frozen) elasticity, with the retirement flags
+// replayed and the assignment copied over. Dynamic ops promise
+// bit-identity against exactly this reconstruction.
+func rebuiltState(t *testing.T, st *State) *State {
+	t.Helper()
+	g := st.Game()
+	resources := make([]Resource, g.NumResources())
+	for e := range resources {
+		resources[e] = g.Resource(e)
+	}
+	strategies := make([][]int, g.NumStrategies())
+	for s := range strategies {
+		strategies[s] = g.Strategy(s)
+	}
+	fresh, err := New(Config{
+		Resources:  resources,
+		Players:    g.NumPlayers(),
+		Strategies: strategies,
+		Elasticity: g.Elasticity(),
+	})
+	if err != nil {
+		t.Fatalf("rebuild game: %v", err)
+	}
+	for s := 0; s < g.NumStrategies(); s++ {
+		if g.StrategyRetired(s) {
+			if err := fresh.RetireStrategy(s); err != nil {
+				t.Fatalf("rebuild retire %d: %v", s, err)
+			}
+		}
+	}
+	rst, err := NewStateFromAssignment(fresh, st.AssignmentView())
+	if err != nil {
+		t.Fatalf("rebuild state: %v", err)
+	}
+	return rst
+}
+
+// requireStateMatchesRebuild compares the live, incrementally mutated
+// state against the from-scratch reconstruction bit-for-bit: loads,
+// per-strategy counts, the slope bounds ν_P, the protocol threshold ν,
+// and the Rosenthal potential.
+func requireStateMatchesRebuild(t *testing.T, step int, st *State) {
+	t.Helper()
+	g := st.Game()
+	rst := rebuiltState(t, st)
+	rg := rst.Game()
+	if got, want := g.NumPlayers(), rg.NumPlayers(); got != want {
+		t.Fatalf("step %d: players %d vs rebuilt %d", step, got, want)
+	}
+	if got, want := g.SlopeLoad(), rg.SlopeLoad(); got != want {
+		t.Fatalf("step %d: slopeLoad %d vs rebuilt %d (test drifted below ⌈d⌉ players)", step, got, want)
+	}
+	for e := 0; e < g.NumResources(); e++ {
+		if st.Load(e) != rst.Load(e) {
+			t.Fatalf("step %d: load[%d] = %d, rebuilt %d", step, e, st.Load(e), rst.Load(e))
+		}
+	}
+	for s := 0; s < g.NumStrategies(); s++ {
+		if st.Count(s) != rst.Count(s) {
+			t.Fatalf("step %d: count[%d] = %d, rebuilt %d", step, s, st.Count(s), rst.Count(s))
+		}
+		if g.NuOf(s) != rg.NuOf(s) {
+			t.Fatalf("step %d: NuOf(%d) = %v, rebuilt %v", step, s, g.NuOf(s), rg.NuOf(s))
+		}
+		if g.StrategyRetired(s) != rg.StrategyRetired(s) {
+			t.Fatalf("step %d: retired[%d] = %v, rebuilt %v", step, s, g.StrategyRetired(s), rg.StrategyRetired(s))
+		}
+	}
+	if g.Nu() != rg.Nu() {
+		t.Fatalf("step %d: Nu = %v, rebuilt %v", step, g.Nu(), rg.Nu())
+	}
+	if st.Potential() != rst.Potential() {
+		t.Fatalf("step %d: potential %v, rebuilt %v", step, st.Potential(), rst.Potential())
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+}
+
+// enabledStrategy returns a random non-retired strategy.
+func enabledStrategy(g *Game, rng *rand.Rand) int {
+	for {
+		s := rng.Intn(g.NumStrategies())
+		if !g.StrategyRetired(s) {
+			return s
+		}
+	}
+}
+
+// TestDynamicOpsMatchRebuild drives a randomized trajectory interleaving
+// every event mutation (arrivals, departures, latency scaling, new links
+// and strategies, link retirement) with ordinary Move churn, and checks
+// after every step that (a) the Sync-maintained RoundView equals a fresh
+// rebuild bit-for-bit and (b) the live state equals a from-scratch
+// reconstruction of the mutated instance bit-for-bit, with the folded
+// incremental ΔΦ tracking the recomputed potential.
+func TestDynamicOpsMatchRebuild(t *testing.T) {
+	rng := prng.New(23)
+	g := incrGame(t, 60, 16, 4, rng)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := NewRoundView(st)
+	phi := st.Potential()
+
+	for step := 0; step < 160; step++ {
+		switch op := rng.Intn(8); op {
+		case 0, 1, 2: // plain migration churn
+			batch := 1 + rng.Intn(4)
+			for i := 0; i < batch; i++ {
+				p := rng.Intn(g.NumPlayers())
+				phi += st.Move(p, enabledStrategy(g, rng))
+			}
+		case 3: // arrivals
+			dphi, err := st.AddPlayers(enabledStrategy(g, rng), 1+rng.Intn(3))
+			if err != nil {
+				t.Fatalf("step %d: add players: %v", step, err)
+			}
+			phi += dphi
+		case 4: // departures (keep the population comfortably above ⌈d⌉)
+			s := enabledStrategy(g, rng)
+			count := int(st.Count(s))
+			if count > 2 {
+				count = 2
+			}
+			if count < 1 || g.NumPlayers()-count < 8 {
+				continue
+			}
+			dphi, err := st.RemovePlayers(s, count)
+			if err != nil {
+				t.Fatalf("step %d: remove players: %v", step, err)
+			}
+			phi += dphi
+		case 5: // rush hour / relief on a random link
+			factor := 0.5 + rng.Float64()*1.5
+			dphi, err := st.ScaleLatency(rng.Intn(g.NumResources()), factor)
+			if err != nil {
+				t.Fatalf("step %d: scale latency: %v", step, err)
+			}
+			phi += dphi
+		case 6: // new link plus a singleton strategy on it
+			fn, err := latency.NewAffine(0.5+rng.Float64()*2, rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := st.AddResource(Resource{Name: "grown", Latency: fn})
+			if err != nil {
+				t.Fatalf("step %d: add resource: %v", step, err)
+			}
+			if _, _, err := g.RegisterStrategy([]int{e}); err != nil {
+				t.Fatalf("step %d: register strategy: %v", step, err)
+			}
+			st.EnsureStrategies()
+		case 7: // retire a link (players drain onto a fallback)
+			e := rng.Intn(g.NumResources())
+			fallback := -1
+			for s := 0; s < g.NumStrategies(); s++ {
+				if g.StrategyRetired(s) {
+					continue
+				}
+				uses := false
+				for _, r := range g.Strategy(s) {
+					if r == e {
+						uses = true
+						break
+					}
+				}
+				if !uses {
+					fallback = s
+					break
+				}
+			}
+			if fallback < 0 {
+				continue
+			}
+			dphi, _, err := st.RetireStrategiesUsing(e, fallback)
+			if err != nil {
+				t.Fatalf("step %d: retire link: %v", step, err)
+			}
+			phi += dphi
+		}
+		view = view.Sync(st)
+		requireViewsEqual(t, step, view, NewRoundView(st))
+		requireStateMatchesRebuild(t, step, st)
+		if full := st.Potential(); math.Abs(phi-full) > 1e-8*math.Max(1, math.Abs(full)) {
+			t.Fatalf("step %d: incremental potential drifted: folded %v, recomputed %v", step, phi, full)
+		}
+	}
+}
+
+// TestDynamicOpErrors pins the dynamic ops' input validation: each
+// rejects out-of-range or degenerate requests with a game.ErrInvalid
+// wrapped error and leaves the state untouched.
+func TestDynamicOpErrors(t *testing.T) {
+	rng := prng.New(29)
+	g := incrGame(t, 20, 8, 2, rng)
+	st, err := NewRandomState(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := st.Potential()
+
+	fail := func(name string, gotErr error) {
+		t.Helper()
+		if gotErr == nil {
+			t.Fatalf("%s: no error", name)
+		}
+		if st.Potential() != phi {
+			t.Fatalf("%s: failed op mutated the state", name)
+		}
+	}
+	_, err = st.AddPlayers(-1, 1)
+	fail("add players bad strategy", err)
+	_, err = st.AddPlayers(0, 0)
+	fail("add players zero count", err)
+	_, err = st.RemovePlayers(0, int(st.Count(0))+1)
+	fail("remove players overdraw", err)
+	_, err = st.ScaleLatency(g.NumResources(), 2)
+	fail("scale bad resource", err)
+	_, err = st.ScaleLatency(0, 0)
+	fail("scale zero factor", err)
+	_, _, err = st.RetireStrategiesUsing(0, 0)
+	fail("retire with self fallback", err)
+
+	// Retiring the last enabled strategy must be refused.
+	last := -1
+	for s := 0; s < g.NumStrategies(); s++ {
+		if !g.StrategyRetired(s) {
+			if last >= 0 {
+				if err := g.RetireStrategy(last); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last = s
+		}
+	}
+	if err := g.RetireStrategy(last); err == nil {
+		t.Fatal("retired the last enabled strategy")
+	}
+}

@@ -64,6 +64,8 @@ type Game struct {
 	stratNu      []float64 // ν_P per strategy
 	resStrats    [][]int32 // resource -> strategies containing it, ascending
 	allSingleton bool      // every registered strategy has exactly one resource
+	retired      []bool    // strategy -> retired by a topology event (see dynamic.go)
+	numRetired   int
 
 	classOf      []int32 // player -> class (all zero for symmetric games)
 	classMembers [][]int32
@@ -276,6 +278,7 @@ func (g *Game) registerCanonical(s []int32) (id int, isNew bool) {
 	g.stratRes = append(g.stratRes, s...)
 	g.stratOff = append(g.stratOff, int32(len(g.stratRes)))
 	g.stratTab.insert(int32(id), hash)
+	g.retired = append(g.retired, false)
 	if len(s) != 1 {
 		g.allSingleton = false
 	}
@@ -369,12 +372,13 @@ func (g *Game) SlopeLoad() int { return g.slopeLoad }
 // per-resource slope bounds ν_e.
 func (g *Game) NuOf(s int) float64 { return g.stratNu[s] }
 
-// Nu returns ν = max over registered strategies P of ν_P: the minimum-gain
-// threshold of the IMITATION PROTOCOL.
+// Nu returns ν = max over enabled registered strategies P of ν_P: the
+// minimum-gain threshold of the IMITATION PROTOCOL. Retired strategies
+// (see RetireStrategy) no longer constrain the threshold.
 func (g *Game) Nu() float64 {
 	best := 0.0
-	for _, nu := range g.stratNu {
-		if nu > best {
+	for s, nu := range g.stratNu {
+		if nu > best && !g.retired[s] {
 			best = nu
 		}
 	}

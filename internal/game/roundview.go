@@ -158,6 +158,12 @@ func (v *RoundView) Sync(st *State) *RoundView {
 		return v.Reset(st)
 	}
 	g := st.g
+	if len(v.lat) != len(g.resources) {
+		// Topology mutated (State.AddResource): the per-resource tables are
+		// sized for the old m, so indexing by the new resource range would
+		// be out of bounds. Rebuild from scratch.
+		return v.Reset(st)
+	}
 	oldK := len(v.stratLat)
 	k := g.NumStrategies()
 	if st.mutEpoch == v.syncEpoch && k == oldK {

@@ -367,6 +367,50 @@ func (f Scaled) String() string {
 	return "(" + f.F.String() + ")(x/" + strconv.FormatFloat(f.N, 'g', -1, 64) + ")"
 }
 
+// Amplified wraps a function as c·ℓ(x): pure output scaling, the "rush
+// hour" model where a link's latency curve is uniformly amplified (or, for
+// c < 1, relieved) without changing its shape. Output scaling leaves the
+// elasticity ℓ'(x)·x/ℓ(x) untouched while ν_e scales by c. The fields are
+// exported so population-rescaling code (internal/fluid) can unwrap the
+// amplification chain and retarget the base function.
+type Amplified struct {
+	F Function
+	C float64 // amplification factor, > 0
+}
+
+var (
+	_ Function = Amplified{}
+	_ Elastic  = Amplified{}
+)
+
+// NewAmplified returns c·ℓ(x) for the given base function.
+func NewAmplified(f Function, c float64) (Amplified, error) {
+	if f == nil {
+		return Amplified{}, fmt.Errorf("%w: amplified base function must not be nil", ErrInvalid)
+	}
+	if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+		return Amplified{}, fmt.Errorf("%w: amplification factor %v must be positive and finite", ErrInvalid, c)
+	}
+	return Amplified{F: f, C: c}, nil
+}
+
+// Value implements Function.
+func (f Amplified) Value(x float64) float64 { return f.C * f.F.Value(x) }
+
+// Derivative implements Function.
+func (f Amplified) Derivative(x float64) float64 { return f.C * f.F.Derivative(x) }
+
+// ElasticityBound implements Elastic: (c·ℓ)'·x/(c·ℓ) = ℓ'·x/ℓ, so output
+// scaling preserves the elasticity of the base function exactly.
+func (f Amplified) ElasticityBound(n float64) float64 {
+	return Elasticity(f.F, n)
+}
+
+// String implements Function.
+func (f Amplified) String() string {
+	return formatCoeff(f.C) + "·(" + f.F.String() + ")"
+}
+
 // MM1 is the M/M/1 queueing delay ℓ(x) = 1/(c − x) for x < c, the standard
 // latency model for routers and servers. It is only defined below the
 // capacity c; Value clamps at fill·c (default 99% of capacity) to stay

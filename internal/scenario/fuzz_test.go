@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"congame/internal/events"
+)
+
+// FuzzEventSchedule fuzzes the spec parser with a focus on the version-2
+// events block: any input either parses into a spec that re-validates
+// cleanly or is rejected with an error wrapping scenario.ErrInvalid —
+// never a panic, never an anonymous error. The committed corpus under
+// testdata/fuzz/FuzzEventSchedule seeds the interesting shapes (every
+// event kind, recurring churn, topology mutations, and a range of
+// malformed schedules).
+func FuzzEventSchedule(f *testing.F) {
+	seeds := []string{
+		`{"version":2,"name":"ok","instance":{"family":"uniform-singletons","params":{"m":4,"n":32}},"dynamics":{"kind":"imitation"},"rounds":50,"reps":2,"seed":1,"metrics":["mean_rounds"],"events":[{"round":1,"every":2,"kind":"arrive","count":3,"strategy":1}]}`,
+		`{"version":2,"name":"topo","instance":{"family":"uniform-singletons","params":{"m":4,"n":32}},"dynamics":{"kind":"imitation"},"rounds":50,"reps":2,"seed":1,"metrics":["mean_rounds"],"events":[{"round":2,"kind":"add-link","latency":{"kind":"affine","a":1,"b":0.5},"strategies":[[4]]},{"round":4,"kind":"remove-link","resource":1,"fallback":0}]}`,
+		`{"version":2,"name":"bad","instance":{"family":"uniform-singletons","params":{"m":4,"n":32}},"dynamics":{"kind":"imitation"},"rounds":50,"reps":2,"seed":1,"metrics":["mean_rounds"],"events":[{"round":-3,"kind":"depart","count":1}]}`,
+		`{"version":1,"name":"v1","instance":{"family":"uniform-singletons","params":{"m":4,"n":32}},"dynamics":{"kind":"imitation"},"rounds":50,"reps":2,"seed":1,"metrics":["mean_rounds"]}`,
+		`{"version":2,"events":[{"kind":`,
+		`[{"round":0,"kind":"arrive","count":1}]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := Parse(strings.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Parse error %q does not wrap scenario.ErrInvalid", err)
+			}
+			if spec != nil {
+				t.Fatal("non-nil spec alongside an error")
+			}
+			return
+		}
+		// Accepted specs must be stable under re-validation, and an
+		// accepted events block must build into a schedule.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		if len(spec.Events) > 0 {
+			if _, err := events.NewSchedule(spec.Events); err != nil {
+				t.Fatalf("accepted events block fails NewSchedule: %v", err)
+			}
+		}
+	})
+}

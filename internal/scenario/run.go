@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"congame/internal/dynamics"
+	"congame/internal/events"
 	"congame/internal/fluid"
 	"congame/internal/prng"
 	"congame/internal/runner"
@@ -131,6 +132,18 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 	}
 	workers := s.engineWorkers()
 
+	// The schedule is stateless (per-round application reads only the
+	// passed state), so one instance is shared by every replication; the
+	// per-instance validation happens inside SetEvents.
+	var sched *events.Schedule
+	if len(s.Events) > 0 {
+		var err error
+		sched, err = events.NewSchedule(s.Events)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("%w: %w", ErrInvalid, err)
+		}
+	}
+
 	var recorder *trace.Recorder
 	if s.Trace != nil {
 		var err error
@@ -169,6 +182,19 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 			built, err := kind.Build(inst, cell.Dynamics, s.DynamicsSeed(cell, rep), workers)
 			if err != nil {
 				return nil, err
+			}
+			if sched != nil {
+				switch d := built.Dyn.(type) {
+				case *dynamics.Engine:
+					err = d.SetEvents(sched)
+				case *dynamics.Fluid:
+					err = d.SetEvents(sched)
+				default:
+					err = fmt.Errorf("%w: dynamics %s does not support event schedules", ErrInvalid, s.Dynamics.Kind)
+				}
+				if err != nil {
+					return nil, err
+				}
 			}
 			if s.Stop != nil {
 				stop, err := stopK.Build(cell.Stop, built)

@@ -42,13 +42,16 @@ import (
 	"os"
 	"slices"
 	"strings"
+
+	"congame/internal/events"
 )
 
 // ErrInvalid reports an invalid scenario spec.
 var ErrInvalid = errors.New("scenario: invalid")
 
-// Version is the spec schema version this package reads.
-const Version = 1
+// Version is the current spec schema version. Version 1 specs (no events
+// block) are still accepted; version 2 adds the "events" schedule.
+const Version = 2
 
 // maxCells bounds grid expansion so a typo'd range cannot allocate an
 // unbounded sweep.
@@ -257,6 +260,13 @@ type Spec struct {
 	// axes by their Param.
 	SeedCoords []string `json:"seed_coords,omitempty"`
 
+	// Events is the deterministic live-scenario schedule (version ≥ 2):
+	// player churn, latency scaling, and topology mutations applied before
+	// the decide phase of the rounds they name. The schedule is validated
+	// statically here and against each replication's instance at build
+	// time; it applies identically to every cell and replication.
+	Events []events.Event `json:"events,omitempty"`
+
 	Trace *TraceSpec `json:"trace,omitempty"`
 	Quick *QuickSpec `json:"quick,omitempty"`
 }
@@ -292,8 +302,16 @@ func Parse(r io.Reader) (*Spec, error) {
 
 // Validate checks the spec against the registries and the schema rules.
 func (s *Spec) Validate() error {
-	if s.Version != Version {
-		return fmt.Errorf("%w: version %d (this build reads version %d)", ErrInvalid, s.Version, Version)
+	if s.Version != Version && s.Version != 1 {
+		return fmt.Errorf("%w: version %d (this build reads versions 1 and %d)", ErrInvalid, s.Version, Version)
+	}
+	if len(s.Events) > 0 {
+		if s.Version < 2 {
+			return fmt.Errorf("%w: events require version 2, spec declares version %d", ErrInvalid, s.Version)
+		}
+		if _, err := events.NewSchedule(s.Events); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalid, err)
+		}
 	}
 	if s.Name == "" {
 		return fmt.Errorf("%w: name is required", ErrInvalid)

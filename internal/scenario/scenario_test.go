@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"congame/internal/events"
 	"congame/internal/prng"
 )
 
@@ -51,7 +52,18 @@ func TestValidateErrors(t *testing.T) {
 		mutate func(*Spec)
 		want   string
 	}{
-		{"version", func(s *Spec) { s.Version = 2 }, "version"},
+		{"version", func(s *Spec) { s.Version = 3 }, "version"},
+		{"version 2 ok", func(s *Spec) { s.Version = 2 }, ""},
+		{"events need v2", func(s *Spec) {
+			s.Version = 1
+			s.Events = []events.Event{{Round: 1, Kind: events.Arrive, Count: 4}}
+		}, "events require version 2"},
+		{"bad event", func(s *Spec) {
+			s.Events = []events.Event{{Round: 1, Kind: events.Arrive, Count: 0}}
+		}, "events: invalid schedule"},
+		{"events ok", func(s *Spec) {
+			s.Events = []events.Event{{Round: 1, Kind: events.Arrive, Count: 4}}
+		}, ""},
 		{"no name", func(s *Spec) { s.Name = "" }, "name"},
 		{"bad family", func(s *Spec) { s.Instance.Family = "nope" }, "unknown instance family"},
 		{"bad dynamics", func(s *Spec) { s.Dynamics.Kind = "nope" }, "unknown dynamics kind"},

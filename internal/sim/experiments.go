@@ -68,6 +68,7 @@ func Experiments() []Experiment {
 		{ID: "E13", Title: "Price of anarchy on affine networks", Claim: "Section 1.2 bounds: nonatomic 4/3, atomic 2.5 for linear latencies", Run: runE13},
 		{ID: "E14", Title: "Weighted imitation dynamics", Claim: "related work [5]: pseudopolynomial convergence for weighted tasks", Run: runE14},
 		{ID: "E15", Title: "Fluid-vs-exact drift at million-player scale", Claim: "Section 1.2 ([15]): O(n^{-1/2}) drift from the mean-field round map, O(1)-round equilibration independent of n", Run: runE15},
+		{ID: "E16", Title: "Recovery time after live shocks", Claim: "Theorem 4 as self-stabilization: re-equilibration after churn, latency shifts, and topology events; new links need exploration (Section 6)", Run: runE16},
 	}
 }
 

@@ -84,8 +84,8 @@ func TestTableJSON(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)

@@ -1,5 +1,5 @@
 // Package sim is the experiment harness: it defines the registry of
-// experiments E1–E14 (one per theorem-level claim of the paper, see
+// experiments E1–E16 (one per theorem-level claim of the paper, see
 // EXPERIMENTS.md), replication helpers, and plain-text/markdown/CSV
 // table rendering. The same registry backs cmd/experiments and the
 // root-level benchmark suite. Tables are deterministic in Config.Seed
