@@ -15,22 +15,35 @@ GO ?= go
 
 SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined fluid-vs-exact churn-recovery
 
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 # Short per-benchmark run time for the CI gate; `make bench` uses the
 # default 1s for the committed baseline.
 BENCH_GATE_TIME ?= 0.3s
-BENCH_TOL ?= 0.25
-# The n=262144 and n=1048576 rounds move megabytes per op, so their ns/op
-# breathes with host memory-bandwidth contention far more than the rest of
-# the suite; they gate at a wider tolerance. The million-player rounds are
-# the extreme case — on a loaded single-core host the w2 variant has been
-# observed ±100% run to run — so they gate one-sidedly generous: the row
-# still catches a real blow-up, and allocs/op gating stays exact (any
-# growth from 0 fails regardless of tolerance).
-BENCH_TOL_FOR ?= engine/step/heavy-n262144/w1=0.5,engine/step/heavy-n262144/w2=0.5,engine/step/heavy-n1048576/w1=1.0,engine/step/heavy-n1048576/w2=1.2
+# The ns/op tolerance is deliberately wide: the reference container is a
+# steal-prone shared 1-vCPU VM, and back-to-back identical-binary gate
+# runs have been observed to swing individual rows ±40% (different rows
+# each run — host noise, not code). +50% still catches a real blow-up,
+# and the gate's hard teeth are machine-independent anyway: any allocs/op
+# growth on a zero-alloc baseline fails regardless of tolerance. The
+# baseline itself is recorded at -benchtime 2s to average over steal
+# windows; the 0.3s gate run samples one window, hence the headroom.
+BENCH_TOL ?= 0.5
+# The million-player rounds move tens of megabytes per op and the par2
+# end-to-end rows timeshare two goroutines on one vCPU; both have been
+# observed past +100% run to run, so they gate one-sidedly generous.
+BENCH_TOL_FOR ?= engine/step/heavy-n1048576/w1=1.0,engine/step/heavy-n1048576/w2=1.2,sim/E1-quick/par2=1.2,runner/spec-8reps-n2000/par2=1.0
+
+# Profile-guided optimization: default.pgo is a committed CPU profile of
+# the bench suite (regenerate with `make pgo`). Every bench build — the
+# baseline, the gate, and the history's subject — compiles with it, so the
+# gate measures the binary users of `-pgo` actually get. When the profile
+# is absent (fresh clone mid-rebase, etc.) the flag drops out and builds
+# proceed unguided.
+PGO_FLAG = $(if $(wildcard default.pgo),-pgo=default.pgo,)
 
 .PHONY: all build test test-short race vet fmt bench bench-gate \
-        experiments examples sweep-quick sweep-golden sweep-check help
+        bench-history pgo experiments examples sweep-quick sweep-golden \
+        sweep-check help
 
 all: build test
 
@@ -56,12 +69,18 @@ vet: ## go vet ./...
 fmt: ## Fail if any file needs gofmt.
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench: ## Regenerate the committed benchmark baseline (BENCH_PR7.json).
-	$(GO) run ./cmd/bench -out $(BENCH_BASELINE)
+bench: ## Regenerate the committed benchmark baseline (BENCH_PR8.json), built with the committed PGO profile.
+	$(GO) run $(PGO_FLAG) ./cmd/bench -out $(BENCH_BASELINE)
 
-bench-gate: ## Run the short bench suite and diff it against the committed baseline (CI perf gate).
-	$(GO) run ./cmd/bench -benchtime $(BENCH_GATE_TIME) -quiet -out bench-ci.json
+bench-gate: ## Run the short bench suite (PGO build) and diff it against the committed baseline (CI perf gate).
+	$(GO) run $(PGO_FLAG) ./cmd/bench -benchtime $(BENCH_GATE_TIME) -quiet -out bench-ci.json
 	$(GO) run ./cmd/bench compare -tol $(BENCH_TOL) $(if $(BENCH_TOL_FOR),-tol-for $(BENCH_TOL_FOR)) $(BENCH_BASELINE) bench-ci.json
+
+bench-history: ## Render the committed BENCH_PR*.json baselines as one per-benchmark trajectory table.
+	$(GO) run ./cmd/bench history
+
+pgo: ## Regenerate the committed PGO profile (default.pgo) by profiling the bench suite.
+	$(GO) run ./cmd/bench -benchtime $(BENCH_GATE_TIME) -quiet -cpuprofile default.pgo -out bench-pgo.json
 
 experiments: ## Regenerate all experiment tables in quick mode.
 	$(GO) run ./cmd/experiments -quick

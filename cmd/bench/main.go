@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	bench [run] [-out bench.json] [-benchtime 1s] [-quiet]
+//	bench [run] [-out bench.json] [-benchtime 1s] [-quiet] [-only regexp] [-cpuprofile cpu.pprof]
 //	bench compare [-tol 0.25] [-tol-for name=frac,...] OLD.json NEW.json
+//	bench history [BENCH_PR*.json ...]
 //
 // The run suite (versioned; see suiteVersion) covers the hot paths the
 // repo optimizes: engine/step/* measures one concurrent imitation round
@@ -20,9 +21,12 @@
 // tracker (the E15 measurement cell), weighted/step/* one weighted round,
 // runner/* replication fan-out through internal/runner, sweep/* a single
 // scenario cell end to end, and sim/E1/* a full experiment regeneration.
-// `make bench` regenerates the committed BENCH_PR7.json baseline; plain
+// `make bench` regenerates the committed BENCH_PR8.json baseline; plain
 // runs default to bench.json so a local run cannot clobber the committed
-// baselines.
+// baselines. -only restricts a run to matching benchmarks (for profiling
+// or the CI scaling table — partial reports must not become baselines),
+// and -cpuprofile records the suite's CPU profile, which `make pgo`
+// commits as the default.pgo profile-guided-optimization input.
 //
 // compare matches benchmarks by name and fails (exit 1) when NEW regresses
 // against OLD: ns/op worse by more than the tolerance (default 25%,
@@ -30,6 +34,12 @@
 // benchmark whose OLD allocs/op is 0 (the zero-allocation paths are exact,
 // machine-independent contracts). Benchmarks present on only one side are
 // reported but never fail the gate, so the suite can grow.
+//
+// history renders the committed BENCH_PR*.json baselines side by side —
+// one row per benchmark, one column per PR, ns/op throughout — so the
+// performance trajectory of every hot path is readable at a glance
+// (`make bench-history`). Baselines from different machines are labelled;
+// cross-machine columns show the trend, not a controlled comparison.
 package main
 
 import (
@@ -38,7 +48,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,7 +74,7 @@ import (
 // suiteVersion identifies the benchmark suite layout. Bump it when
 // benchmarks are added, removed, or change meaning; compare warns when
 // diffing reports from different suite versions.
-const suiteVersion = 7
+const suiteVersion = 8
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -92,6 +105,9 @@ func run(args []string) int {
 	if len(args) > 0 && args[0] == "compare" {
 		return runCompare(args[1:])
 	}
+	if len(args) > 0 && args[0] == "history" {
+		return runHistory(args[1:])
+	}
 	if len(args) > 0 && args[0] == "run" {
 		args = args[1:]
 	}
@@ -104,9 +120,11 @@ func run(args []string) int {
 func runSuite(args []string) int {
 	fs := flag.NewFlagSet("bench run", flag.ExitOnError)
 	var (
-		outFlag       = fs.String("out", "bench.json", "output JSON file (make bench sets the committed baseline name)")
-		benchtimeFlag = fs.String("benchtime", "", "per-benchmark run time or count, e.g. 2s or 100x (default: testing's 1s)")
-		quietFlag     = fs.Bool("quiet", false, "suppress the per-benchmark progress lines")
+		outFlag        = fs.String("out", "bench.json", "output JSON file (make bench sets the committed baseline name)")
+		benchtimeFlag  = fs.String("benchtime", "", "per-benchmark run time or count, e.g. 2s or 100x (default: testing's 1s)")
+		quietFlag      = fs.Bool("quiet", false, "suppress the per-benchmark progress lines")
+		onlyFlag       = fs.String("only", "", "run only benchmarks whose name matches this regexp (partial reports are not baselines)")
+		cpuprofileFlag = fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file (make pgo feeds it to the PGO build)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,6 +143,29 @@ func runSuite(args []string) int {
 		}
 	}
 
+	var only *regexp.Regexp
+	if *onlyFlag != "" {
+		re, err := regexp.Compile(*onlyFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -only %q: %v\n", *onlyFlag, err)
+			return 2
+		}
+		only = re
+	}
+	if *cpuprofileFlag != "" {
+		f, err := os.Create(*cpuprofileFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	report := Report{
 		SuiteVersion: suiteVersion,
 		GoVersion:    runtime.Version(),
@@ -136,6 +177,9 @@ func runSuite(args []string) int {
 	}
 
 	for _, bench := range suite() {
+		if only != nil && !only.MatchString(bench.name) {
+			continue
+		}
 		res := testing.Benchmark(bench.fn)
 		r := Result{
 			Name:        bench.name,
@@ -658,6 +702,130 @@ func parseTolFor(s string) (map[string]float64, error) {
 		out[name] = f
 	}
 	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// history: render the committed baseline trajectory.
+
+// runHistory loads the given reports (default: the committed BENCH_PR*.json
+// baselines in the current directory), orders them by PR number, and prints
+// one markdown table — benchmarks as rows, PRs as columns, ns/op cells —
+// plus a trend column diffing the newest column against the oldest one that
+// has the benchmark. A benchmark absent from a column (suite growth) prints
+// as "-".
+func runHistory(args []string) int {
+	fs := flag.NewFlagSet("bench history", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_PR*.json")
+		if err != nil || len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "bench history: no BENCH_PR*.json baselines found")
+			return 2
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool { return prNumber(paths[i]) < prNumber(paths[j]) })
+
+	type column struct {
+		label string
+		rep   *Report
+	}
+	var cols []column
+	for _, p := range paths {
+		rep, err := loadReport(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench history: %v\n", err)
+			return 2
+		}
+		label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		cols = append(cols, column{label, rep})
+	}
+
+	// Row order: the newest report's order first (it reflects the current
+	// suite layout), then any older-only benchmarks appended alphabetically.
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range cols[len(cols)-1].rep.Benchmarks {
+		names = append(names, r.Name)
+		seen[r.Name] = true
+	}
+	var extra []string
+	for _, c := range cols {
+		for _, r := range c.rep.Benchmarks {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				extra = append(extra, r.Name)
+			}
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	byCol := make([]map[string]Result, len(cols))
+	for i, c := range cols {
+		byCol[i] = make(map[string]Result, len(c.rep.Benchmarks))
+		for _, r := range c.rep.Benchmarks {
+			byCol[i][r.Name] = r
+		}
+	}
+
+	fmt.Printf("| %-36s |", "benchmark (ns/op)")
+	for _, c := range cols {
+		fmt.Printf(" %12s |", c.label)
+	}
+	fmt.Printf(" %12s |\n", "trend")
+	fmt.Printf("|%s|", strings.Repeat("-", 38))
+	for range cols {
+		fmt.Printf("%s|", strings.Repeat("-", 14))
+	}
+	fmt.Printf("%s|\n", strings.Repeat("-", 14))
+	for _, name := range names {
+		fmt.Printf("| %-36s |", name)
+		firstIdx := -1
+		for i := range cols {
+			r, ok := byCol[i][name]
+			if !ok {
+				fmt.Printf(" %12s |", "-")
+				continue
+			}
+			if firstIdx < 0 {
+				firstIdx = i
+			}
+			fmt.Printf(" %12.0f |", r.NsPerOp)
+		}
+		trend := "-"
+		if last, ok := byCol[len(cols)-1][name]; ok && firstIdx >= 0 && firstIdx != len(cols)-1 {
+			first := byCol[firstIdx][name]
+			if first.NsPerOp > 0 {
+				trend = fmt.Sprintf("%+.1f%%", 100*(last.NsPerOp-first.NsPerOp)/first.NsPerOp)
+			}
+		}
+		fmt.Printf(" %12s |\n", trend)
+	}
+
+	// Machine fingerprints: baselines recorded on different hosts chart a
+	// trajectory, not a controlled comparison — say so under the table.
+	fmt.Println()
+	for _, c := range cols {
+		fmt.Printf("%s: %s %s/%s, %d CPU, suite v%d\n",
+			c.label, c.rep.GoVersion, c.rep.GOOS, c.rep.GOARCH, c.rep.NumCPU, c.rep.SuiteVersion)
+	}
+	return 0
+}
+
+// prNumber extracts the numeric suffix of a BENCH_PR<N>.json path for
+// ordering; non-conforming names sort first, by name.
+func prNumber(path string) int {
+	base := filepath.Base(path)
+	s := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_PR"), ".json")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
 }
 
 func loadReport(path string) (*Report, error) {

@@ -79,6 +79,7 @@ type Engine struct {
 	preRound  PreRoundHook
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
+	blocks    []*prng.Block    // one batched PRNG block per worker
 	deltas    []*game.Delta    // one private migration buffer per worker
 
 	// Persistent worker pool for the sharded round (see pool.go). jobs is
@@ -232,6 +233,15 @@ func (e *Engine) stream(w int) *prng.Reusable {
 	return e.streams[w]
 }
 
+// block returns the lazily allocated batched PRNG block for a worker (the
+// devirtualized kernels' per-shard draw buffer).
+func (e *Engine) block(w int) *prng.Block {
+	for len(e.blocks) <= w {
+		e.blocks = append(e.blocks, prng.NewBlock(kernelDraws))
+	}
+	return e.blocks[w]
+}
+
 // delta returns the lazily allocated migration buffer for a worker, reset
 // against the current state.
 func (e *Engine) delta(w int) *game.Delta {
@@ -277,7 +287,7 @@ func (e *Engine) Step() RoundStats {
 	var movers, newStrategies int
 	if workers <= 1 {
 		d := e.delta(0)
-		decideRange(e.proto, view, 0, n, d, e.stream(0), e.seed, uint64(e.round))
+		decideRange(e.proto, view, 0, n, d, e.stream(0), e.block(0), e.seed, uint64(e.round))
 		e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:1], 1)
 	} else {
 		movers, newStrategies = e.stepSharded(view, n, workers)
@@ -315,6 +325,7 @@ func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newS
 	for w := 0; w < used; w++ {
 		e.delta(w) // reset this round's arenas before any shard runs
 		e.stream(w)
+		e.block(w)
 	}
 	e.ensurePool(used - 1)
 
@@ -328,12 +339,12 @@ func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newS
 		e.jobs <- poolJob{
 			proto: e.proto, view: view,
 			lo: w * chunk, hi: hi,
-			d: e.deltas[w], stream: e.streams[w],
+			d: e.deltas[w], stream: e.streams[w], blk: e.blocks[w],
 			seed: e.seed, round: round,
 			wg: &e.wg,
 		}
 	}
-	decideRange(e.proto, view, 0, chunk, e.deltas[0], e.streams[0], e.seed, round)
+	decideRange(e.proto, view, 0, chunk, e.deltas[0], e.streams[0], e.blocks[0], e.seed, round)
 	e.wg.Wait()
 
 	newStrategies = e.st.StageDeltas(e.deltas[:used])

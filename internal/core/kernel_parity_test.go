@@ -1,0 +1,127 @@
+package core
+
+// Kernel-vs-reference parity: decideRange dispatches the imitation-family
+// protocols to the devirtualized blocked kernels (kernels.go), while any
+// other Protocol value runs the generic scalar loop. Wrapping a protocol
+// in an opaque shim forces the generic path for the SAME protocol, so
+// these tests compare the two code paths directly — every round's stats,
+// every assignment, the folded potential — across symmetric singleton
+// games (the flattened raw-buffer loop), multi-resource games (the
+// cursor loop), asymmetric classes, and non-power-of-two player counts
+// (the Int31n modulo + rejection derivations).
+
+import (
+	"math/rand"
+	"testing"
+
+	"congame/internal/game"
+	"congame/internal/prng"
+	"congame/internal/workload"
+)
+
+// genericShim hides the concrete protocol type from decideRange's type
+// switch, forcing the generic reference loop.
+type genericShim struct{ p Protocol }
+
+func (s genericShim) Decide(view *game.RoundView, player int, rng *rand.Rand) Decision {
+	return s.p.Decide(view, player, rng)
+}
+
+func (s genericShim) Name() string { return s.p.Name() }
+
+// runKernelParity runs `rounds` rounds twice from clones of the same
+// state — once through the kernel dispatch, once through the shim-forced
+// generic loop — and requires bit-identical trajectories at the given
+// worker count.
+func runKernelParity(t *testing.T, st *game.State, proto Protocol, workers, rounds int) {
+	t.Helper()
+	mkKernel := func(*testing.T) (*game.State, Protocol) { return st.Clone(), proto }
+	mkGeneric := func(*testing.T) (*game.State, Protocol) { return st.Clone(), genericShim{proto} }
+	want := runWorkersObserved(t, mkGeneric, workers, rounds, 7)
+	got := runWorkersObserved(t, mkKernel, workers, rounds, 7)
+	assertSameTrajectory(t, workers, got, want)
+}
+
+// TestKernelMatchesGenericSingleton pins the flattened symmetric-singleton
+// kernel against the reference loop, at a power-of-two and a non-power-of-
+// two player count (mask vs modulo Int31n derivations) and across worker
+// counts.
+func TestKernelMatchesGenericSingleton(t *testing.T) {
+	for _, n := range []int{1024, 1000, 1021} {
+		inst, err := workload.HeavyTraffic(n, 16, prng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := NewImitation(inst.Game, ImitationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts() {
+			runKernelParity(t, inst.State, im, w, 40)
+		}
+	}
+}
+
+// TestKernelMatchesGenericNetwork pins the cursor-based kernel loop on a
+// multi-resource (network) game, where SwitchLatency runs the sorted
+// merge rather than the singleton lookup.
+func TestKernelMatchesGenericNetwork(t *testing.T) {
+	inst, err := workload.PolyNetwork(3, 3, 600, 2, 4, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		runKernelParity(t, inst.State, im, w, 30)
+	}
+}
+
+// TestKernelMatchesGenericMultiClass pins the class-table peer sampling
+// (SamplePeerCursor's asymmetric branch) on a two-commodity instance.
+func TestKernelMatchesGenericMultiClass(t *testing.T) {
+	inst, err := workload.TwoCommodity(3, 500, 2, prng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		runKernelParity(t, inst.State, im, w, 30)
+	}
+}
+
+// TestKernelMatchesGenericVirtual pins the VirtualImitation kernel.
+func TestKernelMatchesGenericVirtual(t *testing.T) {
+	inst, err := workload.HeavyTraffic(999, 12, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := NewVirtualImitation(inst.Game, ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		runKernelParity(t, inst.State, vi, w, 40)
+	}
+}
+
+// TestKernelMatchesGenericUndamped pins the UndampedImitation kernel (the
+// E5 ablation path).
+func TestKernelMatchesGenericUndamped(t *testing.T) {
+	inst, err := workload.HeavyTraffic(777, 8, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUndampedImitation(inst.Game, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		runKernelParity(t, inst.State, u, w, 40)
+	}
+}

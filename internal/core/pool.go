@@ -32,6 +32,7 @@ type poolJob struct {
 	lo, hi int
 	d      *game.Delta
 	stream *prng.Reusable
+	blk    *prng.Block
 	seed   uint64
 	round  uint64
 	// wg is the engine's reusable round barrier.
@@ -46,7 +47,7 @@ func poolWorker(jobs <-chan poolJob) {
 		if j.replay {
 			j.d.Replay()
 		} else {
-			decideRange(j.proto, j.view, j.lo, j.hi, j.d, j.stream, j.seed, j.round)
+			decideRange(j.proto, j.view, j.lo, j.hi, j.d, j.stream, j.blk, j.seed, j.round)
 		}
 		j.wg.Done()
 	}
@@ -56,17 +57,31 @@ func poolWorker(jobs <-chan poolJob) {
 // and records the resulting migrations into the shard's private delta —
 // the same code path for the inline single-worker round, the caller's own
 // shard, and every pool worker, so decisions are identical regardless of
-// where a shard runs.
-func decideRange(proto Protocol, view *game.RoundView, lo, hi int, d *game.Delta, stream *prng.Reusable, seed, round uint64) {
-	for p := lo; p < hi; p++ {
-		dec := proto.Decide(view, p, stream.Reset3(seed, round, uint64(p)))
-		if !dec.Move {
-			continue
-		}
-		if dec.NewStrategy != nil {
-			d.RecordNewStrategy(p, dec.NewStrategy)
-		} else {
-			d.RecordMove(p, dec.To)
+// where a shard runs. The imitation-family protocols dispatch to the
+// devirtualized blocked kernels (kernels.go); everything else — innovative
+// protocols with data-dependent draw counts, user protocols — runs the
+// generic reference loop over the scalar per-player streams. Both faces
+// consume identical draw sequences, so the split never shows up in a
+// trajectory.
+func decideRange(proto Protocol, view *game.RoundView, lo, hi int, d *game.Delta, stream *prng.Reusable, blk *prng.Block, seed, round uint64) {
+	switch pr := proto.(type) {
+	case *Imitation:
+		decideImitationRange(pr, view, lo, hi, d, blk, seed, round)
+	case *VirtualImitation:
+		decideVirtualRange(pr, view, lo, hi, d, blk, seed, round)
+	case *UndampedImitation:
+		decideUndampedRange(pr, view, lo, hi, d, blk, seed, round)
+	default:
+		for p := lo; p < hi; p++ {
+			dec := proto.Decide(view, p, stream.Reset3(seed, round, uint64(p)))
+			if !dec.Move {
+				continue
+			}
+			if dec.NewStrategy != nil {
+				d.RecordNewStrategy(p, dec.NewStrategy)
+			} else {
+				d.RecordMove(p, dec.To)
+			}
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"congame/internal/latency"
+	"congame/internal/prng"
 )
 
 // ErrInvalid reports an invalid game construction or operation.
@@ -446,6 +447,18 @@ func (g *Game) SamplePeer(player int, rng *rand.Rand) int {
 	}
 	members := g.classMembers[g.classOf[player]]
 	return int(members[rng.Intn(len(members))])
+}
+
+// SamplePeerCursor is SamplePeer over a block-generator cursor — the
+// devirtualized decide kernels' peer-sampling step. The cursor's Intn
+// replicates rand.Rand.Intn bit for bit, so both faces draw the same peer
+// from the same stream position.
+func (g *Game) SamplePeerCursor(player int, c *prng.Cursor) int {
+	if g.numClasses == 1 {
+		return c.Intn(g.n)
+	}
+	members := g.classMembers[g.classOf[player]]
+	return int(members[c.Intn(len(members))])
 }
 
 // IsSingleton reports whether every registered strategy consists of exactly

@@ -1,0 +1,222 @@
+package prng
+
+// Batched stream generation for the engine's decide phase.
+//
+// The scalar hot path re-seeds one Reusable per player
+// (Reset3(seed, round, p)) and draws through *rand.Rand, which costs an
+// interface dispatch (rand.Rand → Source64) on every draw. A Block instead
+// fills a per-shard buffer with the first K raw outputs of every
+// (seed, round, p) stream in one tight loop — Mix and SplitMix64 fully
+// inlined, the (seed, round) prefix of the Mix absorbed once per fill
+// instead of once per player — and a Cursor then hands those draws to the
+// decision kernels through monomorphic methods that replicate math/rand's
+// Intn/Int63n/Float64 value streams bit for bit.
+//
+// Determinism contract: for every coordinate triple, the draw sequence a
+// Cursor yields is identical to the sequence Stream(seed, round, p) (or
+// Reusable.Reset3) yields through the corresponding *rand.Rand methods —
+// including rejection resampling — for any number of draws. Draws past the
+// K buffered outputs fall back transparently to advancing the SplitMix64
+// counter from the stored per-player state, so a decision that needs more
+// randomness than the block buffered (Intn rejection, innovative
+// protocols) is never cut off and never diverges. The differential and
+// fuzz tests in block_test.go pin this equivalence.
+
+const (
+	// gamma is SplitMix64's additive constant (the golden-ratio "weyl"
+	// increment); mixInit is Mix's initial state. Both must match prng.go.
+	gamma   = 0x9e3779b97f4a7c15
+	mixInit = 0x243f6a8885a308d3
+)
+
+// mixFinalize is the SplitMix64 output finalizer applied to an
+// already-advanced state word. splitmix64(&s) ≡ s += gamma; mixFinalize(s).
+func mixFinalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Block holds the first K raw 64-bit outputs of the (seed, round, p)
+// decision streams for a contiguous player range [lo, hi). One Block per
+// worker is reused across rounds; after the first fill at a range's
+// high-water mark, Fill allocates nothing.
+type Block struct {
+	k      int
+	lo     int
+	buf    []uint64 // (hi-lo)*k raw outputs, player-major
+	states []uint64 // per player: SplitMix64 state after the k buffered draws
+}
+
+// NewBlock returns a Block buffering the first k draws of each stream.
+// k must be ≥ 1; the engine's imitation-family kernels use k = 2 (one
+// peer-sampling draw, one migration-probability draw).
+func NewBlock(k int) *Block {
+	if k < 1 {
+		k = 1
+	}
+	return &Block{k: k}
+}
+
+// K returns the number of buffered draws per player.
+func (b *Block) K() int { return b.k }
+
+// Fill populates the block with the first K outputs of every
+// (seed, round, p) stream for p in [lo, hi). The per-player seeding is
+// exactly Mix(seed, round, p): the (seed, round) prefix state is hoisted
+// out of the loop (Mix absorbs words left to right, so the prefix is
+// shared by all players), leaving one absorb plus K counter advances per
+// player, all inline — no rand.Rand, no interface calls.
+func (b *Block) Fill(seed, round uint64, lo, hi int) {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	need := n * b.k
+	if cap(b.buf) < need {
+		b.buf = make([]uint64, need)
+	}
+	b.buf = b.buf[:need]
+	if cap(b.states) < n {
+		b.states = make([]uint64, n)
+	}
+	b.states = b.states[:n]
+	b.lo = lo
+
+	// Mix prefix over (seed, round), shared by every player in the range.
+	pre := uint64(mixInit)
+	pre ^= seed
+	pre = mixFinalize(pre + gamma)
+	pre ^= round
+	pre = mixFinalize(pre + gamma)
+
+	k := b.k
+	buf := b.buf
+	states := b.states
+	if k == 2 && len(buf) == 2*n && len(states) == n {
+		// The engine's kernels run k = 2 (one sampling draw, one
+		// migration-probability draw); unrolling lets the two finalizers
+		// retire in parallel and drops the inner-loop index arithmetic.
+		for i := 0; i < n; i++ {
+			s := mixFinalize((pre ^ uint64(lo+i)) + gamma)
+			s1 := s + gamma
+			s2 := s1 + gamma
+			buf[2*i] = mixFinalize(s1)
+			buf[2*i+1] = mixFinalize(s2)
+			states[i] = s2
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		// Absorb the player coordinate: state = Mix(seed, round, p).
+		s := mixFinalize((pre ^ uint64(lo+i)) + gamma)
+		base := i * k
+		for j := 0; j < k; j++ {
+			s += gamma
+			buf[base+j] = mixFinalize(s)
+		}
+		states[i] = s
+	}
+}
+
+// Raw exposes the filled buffer: player-major, K raw outputs per player,
+// raw[(p-lo)*K+j] the j-th output of player p's stream. Flattened kernels
+// read it directly — deriving Intn/Float64 values with the exact
+// math/rand formulas — and replay the odd player through a Cursor when a
+// rejection or resample needs draws the buffer cannot serve. Callers must
+// not modify the buffer.
+func (b *Block) Raw() []uint64 { return b.buf }
+
+// Lo returns the first player of the last filled range.
+func (b *Block) Lo() int { return b.lo }
+
+// Cursor returns a cursor over player p's draws. p must lie in the range
+// of the last Fill. The cursor is a value — kernels keep it on the stack
+// and pass it by pointer; no allocation.
+func (b *Block) Cursor(p int) Cursor {
+	i := p - b.lo
+	base := i * b.k
+	return Cursor{buf: b.buf[base : base+b.k], state: b.states[i]}
+}
+
+// Cursor yields one player's decision stream: first the block-buffered
+// draws, then — transparently — scalar SplitMix64 draws continuing the
+// same stream. Its derived-draw methods (Intn, Int63n, Float64, ...)
+// replicate math/rand.Rand over a Source64 bit for bit, so swapping a
+// *rand.Rand for a Cursor never changes a trajectory.
+type Cursor struct {
+	buf   []uint64
+	i     int
+	state uint64
+}
+
+// Uint64 returns the stream's next raw 64 bits.
+func (c *Cursor) Uint64() uint64 {
+	if c.i < len(c.buf) {
+		v := c.buf[c.i]
+		c.i++
+		return v
+	}
+	c.state += gamma
+	return mixFinalize(c.state)
+}
+
+// Int63 matches rand.Rand.Int63 over a prng.Source.
+func (c *Cursor) Int63() int64 { return int64(c.Uint64() >> 1) }
+
+// Int31 matches rand.Rand.Int31.
+func (c *Cursor) Int31() int32 { return int32(c.Int63() >> 32) }
+
+// Int63n matches rand.Rand.Int63n, including its rejection resampling.
+func (c *Cursor) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("prng: invalid argument to Int63n")
+	}
+	if n&(n-1) == 0 { // power of two: mask
+		return c.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := c.Int63()
+	for v > max {
+		v = c.Int63()
+	}
+	return v % n
+}
+
+// Int31n matches rand.Rand.Int31n, including its rejection resampling.
+func (c *Cursor) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("prng: invalid argument to Int31n")
+	}
+	if n&(n-1) == 0 { // power of two: mask
+		return c.Int31() & (n - 1)
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := c.Int31()
+	for v > max {
+		v = c.Int31()
+	}
+	return v % n
+}
+
+// Intn matches rand.Rand.Intn: Int31n for n that fits in 31 bits, Int63n
+// beyond.
+func (c *Cursor) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(c.Int31n(int32(n)))
+	}
+	return int(c.Int63n(int64(n)))
+}
+
+// Float64 matches rand.Rand.Float64, including the resample-on-1.0 guard.
+func (c *Cursor) Float64() float64 {
+	for {
+		f := float64(c.Int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}

@@ -326,9 +326,9 @@ type Engine struct {
 	seed    uint64
 	round   int
 	workers int
-	linkLat []float64        // per-round cache of ℓ_e(W_e)
-	targets []int32          // reusable decision buffer
-	streams []*prng.Reusable // one reusable decision stream per worker
+	linkLat []float64     // per-round cache of ℓ_e(W_e)
+	targets []int32       // reusable decision buffer
+	blocks  []*prng.Block // one batched PRNG block per worker
 }
 
 // Option configures an Engine.
@@ -364,21 +364,55 @@ func (e *Engine) State() *State { return e.st }
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
 
-// stream returns the lazily allocated reusable PRNG stream for a worker.
-func (e *Engine) stream(w int) *prng.Reusable {
-	for len(e.streams) <= w {
-		e.streams = append(e.streams, prng.NewReusable())
+// block returns the lazily allocated batched PRNG block for a worker.
+func (e *Engine) block(w int) *prng.Block {
+	for len(e.blocks) <= w {
+		e.blocks = append(e.blocks, prng.NewBlock(2))
 	}
-	return e.streams[w]
+	return e.blocks[w]
 }
 
 // decideRange fills the decision buffer for players [lo, hi) against the
-// round-start state.
-func (e *Engine) decideRange(lo, hi, n int, stream *prng.Reusable) {
+// round-start state. Like the core engine's imitation kernels, the
+// per-player (seed, round, i) streams are batch-generated into the
+// worker's block and consumed with math/rand's derivation formulas
+// inlined (Int31 = int32(u64 >> 33), Float64 = float64(int64(u64 >> 1))
+// / 2^63); the rare draws the formulas cannot serve — Int31n rejection,
+// the Float64 resample-on-1.0 — replay the player through a cursor from
+// draw 0, so values and stream consumption match the scalar
+// Reset3 + rand.Rand path bit for bit (pinned by
+// TestEngineBlockedDecideMatchesScalar).
+func (e *Engine) decideRange(lo, hi, n int, blk *prng.Block) {
+	blk.Fill(e.seed, uint64(e.round), lo, hi)
+	nu := e.proto.nu
+	scale := e.proto.lambda / e.st.g.d
+	if n >= 1<<31 {
+		for i := lo; i < hi; i++ {
+			e.targets[i] = -1
+			cur := blk.Cursor(i)
+			e.decidePlayerCursor(i, n, &cur, nu, scale)
+		}
+		return
+	}
+	raw := blk.Raw()
+	n32 := int32(n)
+	pow2 := n32&(n32-1) == 0
+	mask := n32 - 1
+	maxv := int32((1 << 31) - 1 - (1<<31)%uint32(n32))
 	for i := lo; i < hi; i++ {
 		e.targets[i] = -1
-		rng := stream.Reset3(e.seed, uint64(e.round), uint64(i))
-		q := rng.Intn(n)
+		base := (i - lo) * 2
+		v := int32(raw[base] >> 33)
+		var q int
+		if pow2 {
+			q = int(v & mask)
+		} else if v <= maxv {
+			q = int(v % n32)
+		} else {
+			cur := blk.Cursor(i)
+			e.decidePlayerCursor(i, n, &cur, nu, scale)
+			continue
+		}
 		target := int(e.st.assign[q])
 		from := int(e.st.assign[i])
 		if target == from {
@@ -386,12 +420,38 @@ func (e *Engine) decideRange(lo, hi, n int, stream *prng.Reusable) {
 		}
 		lp := e.linkLat[from]
 		gain := lp - e.st.SwitchLatency(i, target)
-		if gain <= e.proto.nu || lp <= 0 {
+		if gain <= nu || lp <= 0 {
 			continue
 		}
-		if rng.Float64() < e.proto.lambda/e.st.g.d*gain/lp {
+		f := float64(int64(raw[base+1]>>1)) / (1 << 63)
+		if f == 1 {
+			cur := blk.Cursor(i)
+			e.decidePlayerCursor(i, n, &cur, nu, scale)
+			continue
+		}
+		if f < scale*gain/lp {
 			e.targets[i] = int32(target)
 		}
+	}
+}
+
+// decidePlayerCursor is the slow-path twin of decideRange's loop body,
+// replaying one player's decision through a cursor positioned at the
+// player's first draw.
+func (e *Engine) decidePlayerCursor(i, n int, cur *prng.Cursor, nu, scale float64) {
+	q := cur.Intn(n)
+	target := int(e.st.assign[q])
+	from := int(e.st.assign[i])
+	if target == from {
+		return
+	}
+	lp := e.linkLat[from]
+	gain := lp - e.st.SwitchLatency(i, target)
+	if gain <= nu || lp <= 0 {
+		return
+	}
+	if cur.Float64() < scale*gain/lp {
+		e.targets[i] = int32(target)
 	}
 }
 
@@ -415,7 +475,7 @@ func (e *Engine) Step() int {
 		workers = n
 	}
 	if workers <= 1 {
-		e.decideRange(0, n, n, e.stream(0))
+		e.decideRange(0, n, n, e.block(0))
 	} else {
 		var wg sync.WaitGroup
 		chunk := (n + workers - 1) / workers
@@ -429,10 +489,10 @@ func (e *Engine) Step() int {
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int, stream *prng.Reusable) {
+			go func(lo, hi int, blk *prng.Block) {
 				defer wg.Done()
-				e.decideRange(lo, hi, n, stream)
-			}(lo, hi, e.stream(w))
+				e.decideRange(lo, hi, n, blk)
+			}(lo, hi, e.block(w))
 		}
 		wg.Wait()
 	}
