@@ -15,7 +15,7 @@ GO ?= go
 
 SCENARIOS := e2-monomial-singletons e3-poly-network braess-combined fluid-vs-exact churn-recovery
 
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 # Short per-benchmark run time for the CI gate; `make bench` uses the
 # default 1s for the committed baseline.
 BENCH_GATE_TIME ?= 0.3s
@@ -32,6 +32,11 @@ BENCH_TOL ?= 0.5
 # end-to-end rows timeshare two goroutines on one vCPU; both have been
 # observed past +100% run to run, so they gate one-sidedly generous.
 BENCH_TOL_FOR ?= engine/step/heavy-n1048576/w1=1.0,engine/step/heavy-n1048576/w2=1.2,sim/E1-quick/par2=1.2,runner/spec-8reps-n2000/par2=1.0
+# The instrumented-vs-bare overhead gate (`bench overhead`): interleaved
+# trial pairs, gating the MINIMUM instrumented/bare ratio — see cmd/bench's
+# doc comment for why the minimum is the honest statistic on this host.
+OVERHEAD_TOL ?= 0.05
+OVERHEAD_TRIALS ?= 5
 
 # Profile-guided optimization: default.pgo is a committed CPU profile of
 # the bench suite (regenerate with `make pgo`). Every bench build — the
@@ -69,12 +74,13 @@ vet: ## go vet ./...
 fmt: ## Fail if any file needs gofmt.
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-bench: ## Regenerate the committed benchmark baseline (BENCH_PR8.json), built with the committed PGO profile.
+bench: ## Regenerate the committed benchmark baseline (BENCH_PR9.json), built with the committed PGO profile.
 	$(GO) run $(PGO_FLAG) ./cmd/bench -out $(BENCH_BASELINE)
 
 bench-gate: ## Run the short bench suite (PGO build) and diff it against the committed baseline (CI perf gate).
 	$(GO) run $(PGO_FLAG) ./cmd/bench -benchtime $(BENCH_GATE_TIME) -quiet -out bench-ci.json
 	$(GO) run ./cmd/bench compare -tol $(BENCH_TOL) $(if $(BENCH_TOL_FOR),-tol-for $(BENCH_TOL_FOR)) $(BENCH_BASELINE) bench-ci.json
+	$(GO) run $(PGO_FLAG) ./cmd/bench overhead -trials $(OVERHEAD_TRIALS) -tol $(OVERHEAD_TOL) -benchtime $(BENCH_GATE_TIME)
 
 bench-history: ## Render the committed BENCH_PR*.json baselines as one per-benchmark trajectory table.
 	$(GO) run ./cmd/bench history

@@ -5,6 +5,7 @@
 //
 //	experiments [-exp E1,E3] [-seed 1] [-quick] [-workers 0] [-par 0]
 //	            [-format markdown|text|csv] [-json] [-out results/] [-list]
+//	            [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
 // With no -exp flag every experiment runs in registry order; -list prints
 // the registry (ID, title, paper claim) and exits. -json additionally
@@ -25,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"congame/internal/obs"
 	"congame/internal/sim"
 )
 
@@ -43,6 +45,7 @@ func run() int {
 		formatFlag  = flag.String("format", "markdown", "output format: markdown, text, or csv")
 		jsonFlag    = flag.Bool("json", false, "also emit each table as JSON (stdout, or <out>/<id>.json with -out)")
 		outFlag     = flag.String("out", "", "also write one CSV file per experiment into this directory")
+		profiler    = obs.NewProfiler(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -50,6 +53,15 @@ func run() int {
 		printRegistry()
 		return 0
 	}
+	if err := profiler.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	if *outFlag != "" {
 		if err := os.MkdirAll(*outFlag, 0o755); err != nil {

@@ -7,7 +7,15 @@
 //
 //	imitsim -workload linear -n 1024 -m 20 -rounds 500 [-protocol imitation]
 //	        [-seed 1] [-lambda 0.25] [-delta 0.1] [-eps 0.1] [-workers 0]
-//	        [-reps 1] [-par 0] [-csv out.csv]
+//	        [-reps 1] [-par 0] [-csv out.csv] [-ndjson out.ndjson]
+//	        [-journal run.ndjson] [-metrics-addr 127.0.0.1:9617]
+//	        [-cpuprofile f] [-memprofile f] [-exectrace f]
+//
+// -metrics-addr serves /metrics (Prometheus text format), /metrics.json,
+// and /debug/pprof while the run executes. -journal streams the run's
+// NDJSON timeline (per-round stats and phase timings; single-run mode
+// only). Both are read-only instrumentation: the trajectory is
+// bit-identical with or without them.
 //
 // Workloads: linear (random linear singletons), uniform (identical links),
 // monomial (a·x^d links, -degree), zero-offset (Theorem 9 scaling), twolink
@@ -37,6 +45,7 @@ import (
 	"congame/internal/core"
 	"congame/internal/dynamics"
 	"congame/internal/eq"
+	"congame/internal/obs"
 	"congame/internal/prng"
 	"congame/internal/runner"
 	"congame/internal/trace"
@@ -64,17 +73,44 @@ func run() int {
 		repsFlag     = flag.Int("reps", 1, "independent replications; > 1 prints an aggregate summary instead of one trajectory")
 		parFlag      = flag.Int("par", 0, "concurrent replications; 0 = GOMAXPROCS (aggregates are identical for every value)")
 		csvFlag      = flag.String("csv", "", "write the per-round trajectory to this CSV file")
+		ndjsonFlag   = flag.String("ndjson", "", "write the per-round trajectory to this NDJSON file")
+		journalFlag  = flag.String("journal", "", "stream the run's NDJSON journal (rounds + phase timings) to this file")
+		metricsFlag  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, and /debug/pprof on this address during the run")
+		profiler     = obs.NewProfiler(flag.CommandLine)
 	)
 	flag.Parse()
 
+	var reg *obs.Registry
+	if *metricsFlag != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsFlag, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[metrics on http://%s/metrics]\n", srv.Addr())
+	}
+	if err := profiler.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+		}
+	}()
+
 	if *repsFlag > 1 {
-		if *csvFlag != "" {
-			fmt.Fprintln(os.Stderr, "imitsim: -csv records a single trajectory and cannot be combined with -reps > 1")
-			return 2
+		for name, v := range map[string]string{"-csv": *csvFlag, "-ndjson": *ndjsonFlag, "-journal": *journalFlag} {
+			if v != "" {
+				fmt.Fprintf(os.Stderr, "imitsim: %s records a single trajectory and cannot be combined with -reps > 1\n", name)
+				return 2
+			}
 		}
 		return runReplicated(*workloadFlag, *nFlag, *mFlag, *degreeFlag, *protoFlag,
 			*roundsFlag, *seedFlag, *lambdaFlag, *deltaFlag, *epsFlag, *noNuFlag,
-			*workersFlag, *repsFlag, *parFlag)
+			*workersFlag, *repsFlag, *parFlag, reg)
 	}
 
 	inst, err := buildWorkload(*workloadFlag, *nFlag, *mFlag, *degreeFlag, *seedFlag)
@@ -93,6 +129,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
 		return 2
+	}
+	if *journalFlag != "" || reg != nil {
+		var j *obs.Journal
+		if *journalFlag != "" {
+			if j, err = obs.OpenJournal(*journalFlag); err != nil {
+				fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+				return 1
+			}
+			defer j.Close()
+		}
+		// Single-run rows carry no cell/rep attribution (-1 omits them).
+		dynamics.Instrument(dynamics.FromEngine(engine), reg, j, -1, -1)
 	}
 
 	fmt.Printf("workload : %s\n", inst.Description)
@@ -153,6 +201,23 @@ func run() int {
 		}
 		fmt.Printf("trajectory written to %s\n", *csvFlag)
 	}
+	if *ndjsonFlag != "" {
+		f, err := os.Create(*ndjsonFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "imitsim: close ndjson: %v\n", cerr)
+			}
+		}()
+		if err := rec.WriteNDJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imitsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trajectory written to %s\n", *ndjsonFlag)
+	}
 	return 0
 }
 
@@ -164,7 +229,10 @@ func run() int {
 // happened in this trajectory".
 func runReplicated(workloadName string, n, m int, degree float64, protoName string,
 	rounds int, seed uint64, lambda, delta, eps float64, noNu bool,
-	workers, reps, par int) int {
+	workers, reps, par int, reg *obs.Registry) int {
+	if reg != nil {
+		runner.SetMetrics(obs.NewRunnerMetrics(reg))
+	}
 	spec := runner.Spec{
 		Reps:        reps,
 		MaxRounds:   rounds,
@@ -184,7 +252,9 @@ func runReplicated(workloadName string, n, m int, degree float64, protoName stri
 			if err != nil {
 				return nil, err
 			}
-			return dynamics.FromEngine(engine), nil
+			d := dynamics.FromEngine(engine)
+			dynamics.Instrument(d, reg, nil, -1, rep)
+			return d, nil
 		},
 		Stop: func(int) dynamics.StopCondition {
 			// ν depends on the replication's game, which only exists once

@@ -1,0 +1,67 @@
+// Command metricscheck validates a Prometheus text-format metrics dump
+// (as served by sweep/imitsim -metrics-addr) and optionally checks that
+// required metric families are present with at least one sample. It is
+// the schema gate behind the CI metrics-smoke job.
+//
+// Usage:
+//
+//	metricscheck [-require fam1,fam2,...] metrics.txt
+//	curl -s localhost:9617/metrics | metricscheck -require engine_rounds_total -
+//
+// Exit status: 0 when the dump is well-formed (and every required family
+// has samples), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"congame/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	requireFlag := flag.String("require", "", "comma-separated metric families that must have at least one sample")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "metricscheck: exactly one input file required ('-' = stdin)")
+		return 2
+	}
+
+	var data []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		return 1
+	}
+
+	if err := obs.ValidatePrometheus(data); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: invalid exposition format: %v\n", err)
+		return 1
+	}
+	if *requireFlag != "" {
+		var fams []string
+		for _, f := range strings.Split(*requireFlag, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fams = append(fams, f)
+			}
+		}
+		if err := obs.RequireFamilies(data, fams); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Printf("metricscheck: OK (%d bytes)\n", len(data))
+	return 0
+}

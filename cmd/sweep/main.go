@@ -8,7 +8,10 @@
 //	sweep -spec examples/scenarios/e2-monomial-singletons.json
 //	      [-quick] [-dry-run] [-seed 0] [-par 0] [-workers 0]
 //	      [-format markdown|text|csv|json] [-out results.csv]
-//	      [-trace-dir traces/] [-list]
+//	      [-trace-dir traces/] [-trace-format csv|ndjson] [-list]
+//	      [-metrics-addr 127.0.0.1:9617] [-metrics-linger 0s]
+//	      [-journal run.ndjson]
+//	      [-cpuprofile f] [-memprofile f] [-exectrace f]
 //
 // -dry-run prints the expanded grid (cell labels and derived seeds)
 // without running anything. -out writes the table to a file, selecting
@@ -18,6 +21,15 @@
 // sweep output is bit-identical for every setting. -list prints the
 // registered instance families, dynamics kinds, stop conditions, event
 // kinds, and metrics, then exits.
+//
+// -metrics-addr serves live telemetry while the sweep runs: /metrics
+// (Prometheus text format), /metrics.json, and /debug/pprof/. The
+// exporter stays up for -metrics-linger after the sweep finishes (the
+// sweep_run_complete gauge flips to 1), so a scraper can collect the
+// final state. -journal streams the run's NDJSON event timeline —
+// cell boundaries plus per-round stats, phase timings, and event
+// firings of each cell's replication 0 — to a file. Neither changes
+// any result: instrumented runs are bit-identical to bare ones.
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"time"
 
 	"congame/internal/events"
+	"congame/internal/obs"
 	"congame/internal/scenario"
 )
 
@@ -49,7 +62,12 @@ func run() int {
 		workersFlag  = flag.Int("workers", 0, "engine worker goroutines per replication (0 = spec/auto)")
 		formatFlag   = flag.String("format", "markdown", "stdout format: markdown, text, csv, or json")
 		outFlag      = flag.String("out", "", "also write the table to this file (.csv/.json/.md by extension)")
-		traceDirFlag = flag.String("trace-dir", "", "write per-cell trace CSVs into this directory (spec must declare a trace block)")
+		traceDirFlag = flag.String("trace-dir", "", "write per-cell trace files into this directory (spec must declare a trace block)")
+		traceFmtFlag = flag.String("trace-format", "csv", "per-cell trace encoding: csv or ndjson")
+		metricsFlag  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, and /debug/pprof on this address while the sweep runs")
+		lingerFlag   = flag.Duration("metrics-linger", 0, "keep the metrics exporter up this long after the sweep finishes")
+		journalFlag  = flag.String("journal", "", "stream the run's NDJSON event journal to this file")
+		profiler     = obs.NewProfiler(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -68,6 +86,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (valid: markdown, text, csv, json)\n", *formatFlag)
 		return 2
 	}
+	switch *traceFmtFlag {
+	case "csv", "ndjson":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown trace format %q (valid: csv, ndjson)\n", *traceFmtFlag)
+		return 2
+	}
 
 	spec, err := scenario.Load(*specFlag)
 	if err != nil {
@@ -82,12 +106,45 @@ func run() int {
 		return dryRun(spec, *quickFlag)
 	}
 
-	start := time.Now()
-	res, err := scenario.Run(context.Background(), spec, scenario.Options{
+	opts := scenario.Options{
 		Quick:   *quickFlag,
 		Par:     *parFlag,
 		Workers: *workersFlag,
-	})
+	}
+	if *metricsFlag != "" {
+		opts.Registry = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsFlag, opts.Registry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[metrics on http://%s/metrics]\n", srv.Addr())
+		if *lingerFlag > 0 {
+			defer time.Sleep(*lingerFlag)
+		}
+	}
+	if *journalFlag != "" {
+		j, err := obs.OpenJournal(*journalFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+	if err := profiler.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		}
+	}()
+
+	start := time.Now()
+	res, err := scenario.Run(context.Background(), spec, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 1
@@ -113,7 +170,7 @@ func run() int {
 	}
 
 	if *traceDirFlag != "" {
-		if err := writeTraces(res, *traceDirFlag); err != nil {
+		if err := writeTraces(res, *traceDirFlag, *traceFmtFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			return 1
 		}
@@ -177,22 +234,32 @@ func dryRun(spec *scenario.Spec, quick bool) int {
 	return 0
 }
 
-// writeTraces writes each cell's recorded trajectory as a CSV file.
-func writeTraces(res *scenario.Result, dir string) error {
+// writeTraces writes each cell's recorded trajectory as a CSV or NDJSON
+// file, by the -trace-format flag.
+func writeTraces(res *scenario.Result, dir, format string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("create trace dir: %w", err)
+	}
+	ext := "csv"
+	if format == "ndjson" {
+		ext = "ndjson"
 	}
 	wrote := 0
 	for _, c := range res.Cells {
 		if c.Trace == nil {
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf("%s-cell%03d.csv", res.Spec.Name, c.Cell.Index))
+		path := filepath.Join(dir, fmt.Sprintf("%s-cell%03d.%s", res.Spec.Name, c.Cell.Index, ext))
 		f, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("create %s: %w", path, err)
 		}
-		if err := c.Trace.WriteCSV(f); err != nil {
+		if format == "ndjson" {
+			err = c.Trace.WriteNDJSON(f)
+		} else {
+			err = c.Trace.WriteCSV(f)
+		}
+		if err != nil {
 			f.Close()
 			return err
 		}

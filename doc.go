@@ -99,6 +99,21 @@
 // it), and experiment E16 measures re-equilibration time after each
 // shock kind (DESIGN.md §10).
 //
+// # Observability
+//
+// internal/obs adds a zero-overhead-when-disabled telemetry layer:
+// atomic counters, gauges, and fixed-bucket histograms behind an
+// idempotent registry that renders Prometheus text format and JSON; an
+// allocation-free NDJSON run journal (round stats, per-phase timings,
+// event firings, cell boundaries); and an HTTP exporter with pprof
+// endpoints. The engines expose read-only per-phase timing hooks
+// (decide/record/apply/sync and the pre-round event hook), so attaching
+// a registry or journal never changes a trajectory — instrumented runs
+// are bit-identical to bare ones, and the instrumented engine round
+// stays allocation-free (DESIGN.md §12). cmd/sweep and cmd/imitsim
+// serve live telemetry via -metrics-addr and stream journals via
+// -journal; `bench overhead` gates the instrumentation cost.
+//
 // Packages:
 //
 //	internal/latency    latency functions, elasticity, slope bounds
@@ -119,7 +134,8 @@
 //	internal/sim        experiment registry E1–E16 and table rendering
 //	internal/scenario   declarative scenario specs + parameter-sweep engine
 //	internal/stats      summary statistics and scaling fits
-//	internal/trace      trajectory recording, CSV, sparklines
+//	internal/trace      trajectory recording, CSV/NDJSON, sparklines
+//	internal/obs        metrics, run journal, Prometheus/JSON exporter
 //
 // Binaries: cmd/imitsim (interactive simulator, single-trajectory and
 // replicated-aggregate modes), cmd/experiments (regenerates every

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"congame/internal/game"
 	"congame/internal/prng"
@@ -13,6 +14,10 @@ import (
 type RoundStats struct {
 	// Round is the 0-based index of the completed round.
 	Round int
+	// Players is the number of players n the round ran with — read after
+	// the pre-round event hook, so under churn schedules observers see the
+	// post-event population.
+	Players int
 	// Movers is the number of players that migrated this round.
 	Movers int
 	// NewStrategies is the number of previously unregistered strategies
@@ -46,6 +51,47 @@ type RoundObserver interface {
 	Observe(RoundStats)
 }
 
+// StepTimings carries the wall-clock durations of one Step's phases.
+// PreRound covers the pre-round event hook (zero when none is installed),
+// Sync the incremental RoundView refresh, Decide the sharded
+// decide+record pass (the per-shard decision kernels record their
+// migrations into private deltas in the same pass, so "decide" includes
+// "record"), Apply the delta stage/replay/commit, and Step the whole
+// round including stats collection.
+type StepTimings struct {
+	PreRound time.Duration
+	Sync     time.Duration
+	Decide   time.Duration
+	Apply    time.Duration
+	Step     time.Duration
+}
+
+// StepTimer receives the completed round's statistics and phase timings.
+// It runs synchronously on the engine goroutine after each Step, before
+// the RoundObservers. A timer must not mutate the engine or its state;
+// like observers, it can never change the trajectory. With no timer
+// installed the engine takes no timestamps at all — the nil check is the
+// only cost — preserving the zero-overhead-when-disabled contract
+// (internal/obs builds metric-recording timers on top of this hook; core
+// deliberately does not import obs).
+type StepTimer func(stats RoundStats, t StepTimings)
+
+// ComposeStepTimers chains step timers, skipping nil ones; it returns nil
+// when both are nil, so the composed timer preserves the disabled fast
+// path.
+func ComposeStepTimers(a, b StepTimer) StepTimer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(stats RoundStats, t StepTimings) {
+		a(stats, t)
+		b(stats, t)
+	}
+}
+
 // StopCondition inspects a snapshot of the state after each round and
 // reports whether the run should stop. The engine passes a lazily
 // refreshed snapshot: equilibrium predicates run on cached RoundView
@@ -77,6 +123,7 @@ type Engine struct {
 	moves     int
 	observers []RoundObserver
 	preRound  PreRoundHook
+	timer     StepTimer
 	view      *game.RoundView
 	streams   []*prng.Reusable // one reusable decision stream per worker
 	blocks    []*prng.Block    // one batched PRNG block per worker
@@ -137,6 +184,15 @@ func WithPreRound(hook PreRoundHook) Option {
 // SetPreRound installs (or, with nil, removes) the pre-round mutation hook
 // after construction. Rounds already executed are unaffected.
 func (e *Engine) SetPreRound(hook PreRoundHook) { e.preRound = hook }
+
+// WithStepTimer installs a per-round phase timer (see StepTimer).
+func WithStepTimer(t StepTimer) Option {
+	return func(e *Engine) { e.timer = t }
+}
+
+// SetStepTimer installs (or, with nil, removes) the step timer after
+// construction. Use ComposeStepTimers to attach more than one.
+func (e *Engine) SetStepTimer(t StepTimer) { e.timer = t }
 
 // AddObserver registers a per-round observer after construction. Rounds
 // already executed are not replayed; observers only see rounds stepped
@@ -261,6 +317,20 @@ func (e *Engine) delta(w int) *game.Delta {
 // State.Move) lives in package game, where differential tests pin
 // ApplyDeltas against it.
 func (e *Engine) Step() RoundStats {
+	// Phase timing is opt-in: with no timer the only cost per phase is a
+	// nil check, keeping the disabled round byte- and allocation-identical
+	// to the uninstrumented engine. time.Now() never allocates, so the
+	// timed round stays on the zero-steady-state-allocation path too.
+	var (
+		t     StepTimings
+		start time.Time
+		mark  time.Time
+	)
+	if e.timer != nil {
+		start = time.Now()
+		mark = start
+	}
+
 	// Apply scheduled between-round mutations (churn, latency shifts,
 	// topology events) before anything reads the round's population or
 	// latencies. The hook runs sequentially on this goroutine, so the
@@ -272,6 +342,11 @@ func (e *Engine) Step() RoundStats {
 			e.phi += dphi
 		}
 	}
+	if e.timer != nil {
+		now := time.Now()
+		t.PreRound = now.Sub(mark)
+		mark = now
+	}
 	n := e.st.Game().NumPlayers()
 
 	// One immutable RoundView shared by all workers — the incremental
@@ -280,6 +355,11 @@ func (e *Engine) Step() RoundStats {
 	// are identical to fresh prng.Stream draws without per-player
 	// allocations.
 	view := e.view.Sync(e.st)
+	if e.timer != nil {
+		now := time.Now()
+		t.Sync = now.Sub(mark)
+		mark = now
+	}
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -288,14 +368,27 @@ func (e *Engine) Step() RoundStats {
 	if workers <= 1 {
 		d := e.delta(0)
 		decideRange(e.proto, view, 0, n, d, e.stream(0), e.block(0), e.seed, uint64(e.round))
+		if e.timer != nil {
+			now := time.Now()
+			t.Decide = now.Sub(mark)
+			mark = now
+		}
 		e.phi, movers, newStrategies = e.st.ApplyDeltas(e.phi, e.deltas[:1], 1)
+		if e.timer != nil {
+			t.Apply = time.Since(mark)
+		}
 	} else {
-		movers, newStrategies = e.stepSharded(view, n, workers)
+		var tp *StepTimings
+		if e.timer != nil {
+			tp = &t
+		}
+		movers, newStrategies = e.stepSharded(view, n, workers, tp, &mark)
 	}
 	e.moves += movers
 
 	stats := RoundStats{
 		Round:         e.round,
+		Players:       n,
 		Movers:        movers,
 		NewStrategies: newStrategies,
 		Potential:     e.phi,
@@ -303,6 +396,10 @@ func (e *Engine) Step() RoundStats {
 		MaxLatency:    e.st.Makespan(),
 	}
 	e.round++
+	if e.timer != nil {
+		t.Step = time.Since(start)
+		e.timer(stats, t)
+	}
 	for _, obs := range e.observers {
 		obs.Observe(stats)
 	}
@@ -318,8 +415,10 @@ func (e *Engine) Step() RoundStats {
 // pool). Shard boundaries never influence the trajectory, so any worker
 // count reproduces the single-shard round bit-for-bit. Shards 1..k-1 run
 // on pool workers while the calling goroutine handles shard 0; after
-// warm-up the whole round allocates nothing (see pool.go).
-func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newStrategies int) {
+// warm-up the whole round allocates nothing (see pool.go). When t is
+// non-nil the decide barrier and the commit are timestamped into it,
+// advancing *mark (a nil t never touches mark).
+func (e *Engine) stepSharded(view *game.RoundView, n, workers int, t *StepTimings, mark *time.Time) (movers, newStrategies int) {
 	chunk := (n + workers - 1) / workers
 	used := (n + chunk - 1) / chunk
 	for w := 0; w < used; w++ {
@@ -346,6 +445,11 @@ func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newS
 	}
 	decideRange(e.proto, view, 0, chunk, e.deltas[0], e.streams[0], e.blocks[0], e.seed, round)
 	e.wg.Wait()
+	if t != nil {
+		now := time.Now()
+		t.Decide = now.Sub(*mark)
+		*mark = now
+	}
 
 	newStrategies = e.st.StageDeltas(e.deltas[:used])
 	for w := 1; w < used; w++ {
@@ -355,6 +459,11 @@ func (e *Engine) stepSharded(view *game.RoundView, n, workers int) (movers, newS
 	e.deltas[0].Replay()
 	e.wg.Wait()
 	e.phi, movers = e.st.CommitDeltas(e.phi, e.deltas[:used])
+	if t != nil {
+		now := time.Now()
+		t.Apply = now.Sub(*mark)
+		*mark = now
+	}
 	return movers, newStrategies
 }
 
@@ -369,7 +478,7 @@ func (e *Engine) Run(maxRounds int, stop StopCondition) RunResult {
 	snap := &lazySnapshot{e: e}
 	if stop != nil {
 		snap.stale = true
-		if stop(snap, RoundStats{Round: e.round - 1, Potential: e.phi}) {
+		if stop(snap, RoundStats{Round: e.round - 1, Players: e.st.Game().NumPlayers(), Potential: e.phi}) {
 			return RunResult{Rounds: 0, Converged: true, TotalMoves: e.moves, Final: e.currentStats()}
 		}
 	}
@@ -392,5 +501,5 @@ func (e *Engine) Run(maxRounds int, stop StopCondition) RunResult {
 // currentStats summarizes the engine's current state as a RoundStats record
 // attributed to the last completed round.
 func (e *Engine) currentStats() RoundStats {
-	return RoundStats{Round: e.round - 1, Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()}
+	return RoundStats{Round: e.round - 1, Players: e.st.Game().NumPlayers(), Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()}
 }

@@ -37,8 +37,10 @@ func (a *Engine) SetObserver(obs core.RoundObserver) { a.e.AddObserver(obs) }
 // SetEvents validates the event schedule against the engine's instance
 // and installs it as the engine's pre-round hook, so scheduled mutations
 // (churn, latency shifts, topology events) apply before each round's
-// decide phase. A nil schedule removes the hook.
-func (a *Engine) SetEvents(s *events.Schedule) error {
+// decide phase. A nil schedule removes the hook. Optional firing
+// observers are notified after each applied event (journaling); they run
+// on the engine goroutine and never change the trajectory.
+func (a *Engine) SetEvents(s *events.Schedule, obs ...events.FiringObserver) error {
 	if s == nil {
 		a.e.SetPreRound(nil)
 		return nil
@@ -46,7 +48,7 @@ func (a *Engine) SetEvents(s *events.Schedule) error {
 	if err := s.ValidateFor(a.e.State().Game()); err != nil {
 		return err
 	}
-	a.e.SetPreRound(s.Hook())
+	a.e.SetPreRound(s.Hook(obs...))
 	return nil
 }
 

@@ -23,6 +23,11 @@ import "congame/internal/core"
 type RoundStats struct {
 	// Round is the 0-based index of the completed round.
 	Round int
+	// Players is the number of players n the round ran with (after any
+	// pre-round churn events). The fluid adapter reports the rounded
+	// absolute population for FromGame-scaled systems and 0 for
+	// hand-built ones.
+	Players int
 	// Movers is the number of players that migrated this round.
 	Movers int
 	// NewStrategies is the number of previously unregistered strategies

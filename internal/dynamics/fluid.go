@@ -6,6 +6,7 @@ import (
 	"congame/internal/core"
 	"congame/internal/events"
 	"congame/internal/fluid"
+	"congame/internal/latency"
 )
 
 // DefaultQuietTol is the migration-mass threshold below which a fluid
@@ -26,10 +27,11 @@ const DefaultQuietTol = 1e-9
 // the real-valued mass). TotalMoves stays 0, like the Goldberg baseline.
 // Snapshot-based stop conditions (FromCore) never fire on this family.
 type Fluid struct {
-	sim      *fluid.Sim
-	quietTol float64
-	obs      []core.RoundObserver
-	events   *events.Schedule
+	sim       *fluid.Sim
+	quietTol  float64
+	obs       []core.RoundObserver
+	events    *events.Schedule
+	firingObs []events.FiringObserver
 }
 
 var _ Dynamics = (*Fluid)(nil)
@@ -70,10 +72,12 @@ func (f *Fluid) SetObserver(obs core.RoundObserver) {
 // games, and the instance families register strategies in link order), so
 // the schedule's strategy indices are read as link indices; add-link
 // events may only register singleton strategies here. A nil schedule
-// removes the events.
-func (f *Fluid) SetEvents(s *events.Schedule) error {
+// removes the events. Optional firing observers are notified after each
+// applied event, mirroring the engine adapter.
+func (f *Fluid) SetEvents(s *events.Schedule, obs ...events.FiringObserver) error {
 	if s == nil {
 		f.events = nil
+		f.firingObs = nil
 		return nil
 	}
 	curM := len(f.sim.Mass())
@@ -113,6 +117,7 @@ func (f *Fluid) SetEvents(s *events.Schedule) error {
 		}
 	}
 	f.events = s
+	f.firingObs = obs
 	return nil
 }
 
@@ -125,25 +130,32 @@ func (f *Fluid) applyEvents() {
 		return
 	}
 	round := f.sim.Round()
-	err := f.events.EachActive(round, func(ev events.Event) error {
+	err := f.events.EachActiveIndexed(round, func(i int, ev events.Event) error {
+		var err error
 		switch ev.Kind {
 		case events.Arrive:
-			return f.sim.Arrive(ev.Strategy, ev.Count)
+			err = f.sim.Arrive(ev.Strategy, ev.Count)
 		case events.Depart:
-			return f.sim.Depart(ev.Strategy, ev.Count)
+			err = f.sim.Depart(ev.Strategy, ev.Count)
 		case events.LatencyScale:
-			return f.sim.ScaleLatency(ev.Resource, ev.Factor)
+			err = f.sim.ScaleLatency(ev.Resource, ev.Factor)
 		case events.AddLink:
-			fn, err := ev.Latency.Build()
-			if err != nil {
-				return err
+			var fn latency.Function
+			if fn, err = ev.Latency.Build(); err == nil {
+				err = f.sim.AddLink(fn)
 			}
-			return f.sim.AddLink(fn)
 		case events.RemoveLink:
-			return f.sim.RemoveLink(ev.Resource, ev.Fallback)
+			err = f.sim.RemoveLink(ev.Resource, ev.Fallback)
 		default:
-			return fmt.Errorf("unknown kind %q", ev.Kind)
+			err = fmt.Errorf("unknown kind %q", ev.Kind)
 		}
+		if err != nil {
+			return err
+		}
+		for _, o := range f.firingObs {
+			o(round, i, ev.Kind)
+		}
+		return nil
 	})
 	if err != nil {
 		panic(fmt.Sprintf("dynamics: unvalidated fluid event schedule failed at round %d: %v", round, err))
@@ -156,8 +168,13 @@ func (f *Fluid) convert(s fluid.RoundStats) RoundStats {
 	if s.MigrationMass > f.quietTol {
 		movers = 1
 	}
+	players := 0
+	if pop, ok := f.sim.Population(); ok {
+		players = int(pop + 0.5)
+	}
 	return RoundStats{
 		Round:      s.Round,
+		Players:    players,
 		Movers:     movers,
 		Potential:  s.Potential,
 		AvgLatency: s.AvgLatency,

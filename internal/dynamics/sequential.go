@@ -147,6 +147,7 @@ func (s *Sequential) Potential() float64 { return s.st.Potential() }
 func (s *Sequential) currentStats() RoundStats {
 	return RoundStats{
 		Round:      s.rounds - 1,
+		Players:    s.st.Game().NumPlayers(),
 		Potential:  math.NaN(),
 		AvgLatency: s.st.AvgLatency(),
 		MaxLatency: s.st.Makespan(),

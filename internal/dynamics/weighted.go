@@ -71,6 +71,7 @@ func (a *Weighted) Step() RoundStats {
 	st := a.e.State()
 	stats := RoundStats{
 		Round:      round,
+		Players:    st.Game().NumPlayers(),
 		Movers:     moves,
 		Potential:  a.Potential(),
 		AvgLatency: st.AvgLatency(),
@@ -88,6 +89,7 @@ func (a *Weighted) currentStats() RoundStats {
 	st := a.e.State()
 	return RoundStats{
 		Round:      a.e.Round() - 1,
+		Players:    st.Game().NumPlayers(),
 		Potential:  a.Potential(),
 		AvgLatency: st.AvgLatency(),
 		MaxLatency: st.MaxLatency(),

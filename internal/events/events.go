@@ -298,9 +298,15 @@ func (s *Schedule) ActiveAt(round int) bool {
 // EachActive calls fn for every event firing before the given round, in
 // slice order, stopping at the first error.
 func (s *Schedule) EachActive(round int, fn func(Event) error) error {
+	return s.EachActiveIndexed(round, func(_ int, ev Event) error { return fn(ev) })
+}
+
+// EachActiveIndexed is EachActive with the event's schedule index, for
+// callers that report which event fired (journaling, adapters).
+func (s *Schedule) EachActiveIndexed(round int, fn func(i int, ev Event) error) error {
 	for i := range s.events {
 		if s.events[i].activeAt(round) {
-			if err := fn(s.events[i]); err != nil {
+			if err := fn(i, s.events[i]); err != nil {
 				return err
 			}
 		}
@@ -422,12 +428,23 @@ func (s *Schedule) ValidateFor(g *game.Game) error {
 	return nil
 }
 
+// FiringObserver receives each successfully applied event firing: the
+// round it fired before, the event's index in the schedule, and its kind.
+// Observers run synchronously after the mutation, in schedule order, so a
+// journal of firings reads in exactly the order the state saw them. They
+// must not mutate the state.
+type FiringObserver func(round, index int, kind Kind)
+
 // ApplyRound applies every event firing before the given round, in slice
 // order, and returns the number of events applied plus the exact
 // accumulated potential change ΔΦ. Departures clamp to the players
 // available (and to leaving at least one player); all other failures
 // indicate a schedule that was not validated against this instance.
 func (s *Schedule) ApplyRound(round int, st *game.State) (applied int, dphi float64, err error) {
+	return s.applyRound(round, st, nil)
+}
+
+func (s *Schedule) applyRound(round int, st *game.State, obs []FiringObserver) (applied int, dphi float64, err error) {
 	for i := range s.events {
 		ev := &s.events[i]
 		if !ev.activeAt(round) {
@@ -439,6 +456,9 @@ func (s *Schedule) ApplyRound(round int, st *game.State) (applied int, dphi floa
 		}
 		applied++
 		dphi += d
+		for _, o := range obs {
+			o(round, i, ev.Kind)
+		}
 	}
 	return applied, dphi, nil
 }
@@ -495,13 +515,15 @@ func (s *Schedule) apply(i int, ev *Event, st *game.State) (float64, error) {
 // ValidateFor against the engine's instance: an application error at this
 // point is a programming bug (an unvalidated schedule) and panics, since
 // the hook signature has no error channel and silently skipping a
-// scheduled mutation would corrupt the experiment.
-func (s *Schedule) Hook() func(round int, st *game.State) (float64, bool) {
+// scheduled mutation would corrupt the experiment. Optional firing
+// observers are notified after each applied event; passing none keeps the
+// hook identical to the unobserved one.
+func (s *Schedule) Hook(obs ...FiringObserver) func(round int, st *game.State) (float64, bool) {
 	return func(round int, st *game.State) (float64, bool) {
 		if !s.ActiveAt(round) {
 			return 0, false
 		}
-		applied, dphi, err := s.ApplyRound(round, st)
+		applied, dphi, err := s.applyRound(round, st, obs)
 		if err != nil {
 			panic(fmt.Sprintf("events: unvalidated schedule failed at round %d: %v", round, err))
 		}

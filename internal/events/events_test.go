@@ -290,6 +290,106 @@ func TestApplyRoundSemantics(t *testing.T) {
 	}
 }
 
+// TestHookFiringObservers pins the observer side of the pre-round hook:
+// every observer is notified once per APPLIED firing, after the event's
+// mutation (so observers read post-event state), in schedule order
+// within the round; rounds with no active events notify nobody.
+func TestHookFiringObservers(t *testing.T) {
+	st := testGame(t, 10, 3)
+	s, err := events.NewSchedule([]events.Event{
+		{Round: 1, Every: 2, Kind: events.Arrive, Count: 2, Strategy: 1},
+		{Round: 1, Kind: events.LatencyScale, Resource: 0, Factor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateFor(st.Game()); err != nil {
+		t.Fatal(err)
+	}
+
+	type firing struct {
+		round, index int
+		kind         events.Kind
+		players      int // population AT notification time: post-event
+	}
+	var seen []firing
+	calls := 0
+	hook := s.Hook(
+		func(round, index int, kind events.Kind) {
+			seen = append(seen, firing{round, index, kind, st.Game().NumPlayers()})
+		},
+		func(round, index int, kind events.Kind) { calls++ },
+	)
+	for round := 0; round <= 3; round++ {
+		hook(round, st)
+	}
+
+	want := []firing{
+		{1, 0, events.Arrive, 12},       // 10 + 2, read after the arrival applied
+		{1, 1, events.LatencyScale, 12}, // same round, schedule order
+		{3, 0, events.Arrive, 14},       // recurring arrival only
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d firings %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("firing %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+	if calls != len(want) {
+		t.Errorf("second observer notified %d times, want %d", calls, len(want))
+	}
+}
+
+// TestEngineObserverSeesPostEventStats drives churn through the engine's
+// pre-round hook with a round observer attached: the per-round stats
+// must reflect the population AFTER that round's arrivals (events apply
+// before the decide phase, and RoundStats describes the completed
+// round), so observability layers never report a stale player count.
+func TestEngineObserverSeesPostEventStats(t *testing.T) {
+	st := testGame(t, 50, 3)
+	rng := prng.New(13)
+	for p := 0; p < 50; p++ {
+		st.Move(p, rng.Intn(3))
+	}
+	s, err := events.NewSchedule([]events.Event{
+		{Round: 2, Every: 1, Kind: events.Arrive, Count: 5, Strategy: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateFor(st.Game()); err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.NewImitation(st.Game(), core.ImitationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(st, proto, core.WithSeed(7), core.WithPreRound(s.Hook()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var players []int
+	e.AddObserver(statObserver(func(r core.RoundStats) { players = append(players, r.Players) }))
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	// Rounds 0–1 run with the initial 50 players; from round 2 on, each
+	// round's stats include that round's 5 arrivals.
+	want := []int{50, 50, 55, 60, 65}
+	for i := range want {
+		if players[i] != want[i] {
+			t.Fatalf("observed Players = %v, want %v", players, want)
+		}
+	}
+}
+
+// statObserver adapts a function to core.RoundObserver.
+type statObserver func(core.RoundStats)
+
+func (f statObserver) Observe(r core.RoundStats) { f(r) }
+
 // TestKindsListing pins the CLI listing: alphabetical, one entry per
 // kind, with descriptions.
 func TestKindsListing(t *testing.T) {

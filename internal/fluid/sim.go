@@ -3,6 +3,7 @@ package fluid
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"congame/internal/core"
 	"congame/internal/game"
@@ -66,6 +67,35 @@ type Sim struct {
 	yPrev               []float64 // state before the current substep
 	roundPrev           []float64 // state at the start of the current round
 	dw                  derivWorkspace
+
+	timer func(StepTimings)
+}
+
+// StepTimings carries the wall-clock durations of one fluid Step's
+// phases: Integrate covers the substepped ODE integration, Potential the
+// incremental Simpson potential update, and Step the whole round
+// including the stats fold. The mirror of core.StepTimings for the
+// mean-field backend.
+type StepTimings struct {
+	Integrate time.Duration
+	Potential time.Duration
+	Step      time.Duration
+}
+
+// SetStepTimer installs (or, with nil, removes) a per-round phase timer.
+// It runs synchronously after each Step; with none installed the round
+// takes no timestamps (nil checks only), and the timed round stays on the
+// zero-allocation path.
+func (s *Sim) SetStepTimer(fn func(StepTimings)) { s.timer = fn }
+
+// Population returns the absolute player population n the system's
+// latency functions are scaled by (systems built with FromGame), or
+// ok=false for hand-built systems that model no particular n.
+func (s *Sim) Population() (pop float64, ok bool) {
+	if len(s.sys.fns) == 0 {
+		return 0, false
+	}
+	return unwrapPopulation(s.sys.fns[0])
 }
 
 // NewSim builds a simulator over sys starting from the mass vector y0
@@ -128,6 +158,15 @@ func (s *Sim) MigrationMass() float64 { return s.moveMass }
 // integrator steps) and returns the round's statistics. It allocates
 // nothing.
 func (s *Sim) Step() RoundStats {
+	var (
+		t     StepTimings
+		start time.Time
+		mark  time.Time
+	)
+	if s.timer != nil {
+		start = time.Now()
+		mark = start
+	}
 	copy(s.roundPrev, s.y)
 	dt := 1.0 / float64(s.substeps)
 	move := 0.0
@@ -144,6 +183,11 @@ func (s *Sim) Step() RoundStats {
 			}
 		}
 	}
+	if s.timer != nil {
+		now := time.Now()
+		t.Integrate = now.Sub(mark)
+		mark = now
+	}
 	// Incremental potential: ΔΦ = Σ_e ∫_{y_e}^{y'_e} ℓ_e(u) du over the
 	// round's (small) per-link intervals — Simpson on each segment keeps
 	// the running value within integrator accuracy of ExactPotential.
@@ -152,9 +196,17 @@ func (s *Sim) Step() RoundStats {
 			s.phi += simpsonSegment(s.sys.fns[e].Value, s.roundPrev[e], v)
 		}
 	}
+	if s.timer != nil {
+		t.Potential = time.Since(mark)
+	}
 	s.moveMass = move
 	s.round++
-	return s.currentStats()
+	stats := s.currentStats()
+	if s.timer != nil {
+		t.Step = time.Since(start)
+		s.timer(t)
+	}
+	return stats
 }
 
 // Current summarizes the current state attributed to the last completed

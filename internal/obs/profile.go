@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Profiler bundles the three standard Go profiling outputs behind one
+// flag set so every cmd exposes the same -cpuprofile, -memprofile, and
+// -exectrace flags (the -cpuprofile name is load-bearing: `make pgo`
+// passes it to produce default.pgo). Zero-valued flags are no-ops.
+type Profiler struct {
+	cpu, mem, trace string
+
+	cpuFile, traceFile *os.File
+}
+
+// NewProfiler registers the profiling flags on fs.
+func NewProfiler(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&p.trace, "exectrace", "", "write a runtime execution trace to `file`")
+	return p
+}
+
+// Start opens the requested outputs and begins CPU profiling / execution
+// tracing. Call Stop (typically deferred) to finish them.
+func (p *Profiler) Start() error {
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.trace != "" {
+		f, err := os.Create(p.trace)
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+// Stop finishes every active output. The heap profile is written here so
+// it reflects the end-of-run live set.
+func (p *Profiler) Stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		rtrace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.traceFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("heap profile: %w", err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "Liveness.").Inc()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := ValidatePrometheus(body); err != nil {
+		t.Fatalf("/metrics invalid: %v\n%s", err, body)
+	}
+	if err := RequireFamilies(body, []string{"up_total"}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/metrics.json status %d, %d bytes", code, len(body))
+	}
+
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

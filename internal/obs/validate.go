@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus checks that data is well-formed Prometheus text
+// exposition format: every line is a comment (# HELP / # TYPE with a
+// valid metric name) or a sample `name{labels} value`, every sample's
+// family was TYPE-declared first, histogram families expose _bucket/
+// _sum/_count series, and sample values parse as floats. It returns the
+// first violation. This is the checker behind cmd/metricscheck and the
+// CI metrics-smoke job — intentionally stricter than a scraper needs to
+// be, so format drift fails fast.
+func ValidatePrometheus(data []byte) error {
+	typ := map[string]string{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typ[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				typ[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		sampleOK := false
+		if t, ok := typ[fam]; ok {
+			sampleOK = t != "histogram" // histogram families never expose a bare sample
+		}
+		if !sampleOK {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typ[base] == "histogram" {
+					fam, sampleOK = base, true
+					break
+				}
+			}
+		}
+		if !sampleOK {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		seen[fam] = true
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam := range typ {
+		if !seen[fam] {
+			return fmt.Errorf("family %s declared but has no samples", fam)
+		}
+	}
+	return nil
+}
+
+// splitSample parses `name{labels} value [timestamp]`, validating label
+// syntax but not interpreting it.
+func splitSample(line string) (name, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := checkLabels(rest[1:end]); err != nil {
+			return "", "", err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, fields[0], nil
+}
+
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair without '=' in %q", s)
+		}
+		if !validName(s[:eq]) {
+			return fmt.Errorf("invalid label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value near %q", s)
+		}
+		s = s[1:]
+		for {
+			j := strings.IndexAny(s, `\"`)
+			if j < 0 {
+				return fmt.Errorf("unterminated label value")
+			}
+			if s[j] == '\\' {
+				if j+1 >= len(s) {
+					return fmt.Errorf("dangling escape in label value")
+				}
+				s = s[j+2:]
+				continue
+			}
+			s = s[j+1:]
+			break
+		}
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' between labels near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// RequireFamilies checks that every named metric family has at least one
+// sample in data (histogram families count via their _count series).
+func RequireFamilies(data []byte, families []string) error {
+	text := string(data)
+	for _, fam := range families {
+		if !validName(fam) {
+			return fmt.Errorf("invalid required family name %q", fam)
+		}
+		if !hasSample(text, fam) && !hasSample(text, fam+"_count") {
+			return fmt.Errorf("required metric family %s has no samples", fam)
+		}
+	}
+	return nil
+}
+
+func hasSample(text, name string) bool {
+	for idx := 0; ; {
+		i := strings.Index(text[idx:], name)
+		if i < 0 {
+			return false
+		}
+		i += idx
+		atLineStart := i == 0 || text[i-1] == '\n'
+		end := i + len(name)
+		delimited := end < len(text) && (text[end] == '{' || text[end] == ' ')
+		if atLineStart && delimited {
+			return true
+		}
+		idx = i + 1
+	}
+}

@@ -27,13 +27,28 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"congame/internal/dynamics"
+	"congame/internal/obs"
 	"congame/internal/prng"
 )
 
 // ErrInvalid reports an invalid runner configuration.
 var ErrInvalid = errors.New("runner: invalid")
+
+// metrics is the package-level worker-pool instrumentation. Map is called
+// from many layers (scenario cells, cmd fan-outs), so the hook is process
+// global rather than threaded through every call site; nil (the default)
+// keeps Map on its uninstrumented path — no timestamps, no atomics.
+var metrics atomic.Pointer[obs.RunnerMetrics]
+
+// SetMetrics installs (or, with nil, removes) the pool instrumentation:
+// jobs completed, per-job wall time, queue wait between dispatch and
+// pickup, and total busy time. Metrics never affect results — jobs, fold
+// order, and error selection are identical with and without them.
+func SetMetrics(m *obs.RunnerMetrics) { metrics.Store(m) }
 
 // Parallelism resolves a parallelism knob: values ≤ 0 select GOMAXPROCS,
 // matching the engines' worker-count convention.
@@ -67,13 +82,25 @@ func Map[T any](ctx context.Context, n, par int, job func(ctx context.Context, i
 		par = n
 	}
 
+	m := metrics.Load()
 	if par <= 1 {
 		// Sequential fast path: no goroutines, same contract.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
+			var start time.Time
+			if m != nil {
+				start = time.Now()
+			}
 			r, err := job(ctx, i)
+			if m != nil {
+				d := time.Since(start)
+				m.Jobs.Inc()
+				m.JobSec.ObserveDuration(d)
+				m.QueueWait.Observe(0)
+				m.BusyNanos.Add(uint64(d.Nanoseconds()))
+			}
 			if err != nil {
 				return results, err
 			}
@@ -85,27 +112,46 @@ func Map[T any](ctx context.Context, n, par int, job func(ctx context.Context, i
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, n)
-	indices := make(chan int)
+	type dispatchItem struct {
+		i   int
+		enq time.Time // zero when metrics are off
+	}
+	indices := make(chan dispatchItem)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range indices {
-				r, err := job(jobCtx, i)
+			for it := range indices {
+				var start time.Time
+				if m != nil {
+					start = time.Now()
+					m.QueueWait.ObserveDuration(start.Sub(it.enq))
+				}
+				r, err := job(jobCtx, it.i)
+				if m != nil {
+					d := time.Since(start)
+					m.Jobs.Inc()
+					m.JobSec.ObserveDuration(d)
+					m.BusyNanos.Add(uint64(d.Nanoseconds()))
+				}
 				if err != nil {
-					errs[i] = err
+					errs[it.i] = err
 					cancel() // stop dispatching further jobs
 					continue
 				}
-				results[i] = r
+				results[it.i] = r
 			}
 		}()
 	}
 dispatch:
 	for i := 0; i < n; i++ {
+		it := dispatchItem{i: i}
+		if m != nil {
+			it.enq = time.Now()
+		}
 		select {
-		case indices <- i:
+		case indices <- it:
 		case <-jobCtx.Done():
 			break dispatch
 		}

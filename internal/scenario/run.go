@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"congame/internal/dynamics"
 	"congame/internal/events"
 	"congame/internal/fluid"
+	"congame/internal/obs"
 	"congame/internal/prng"
 	"congame/internal/runner"
 	"congame/internal/sim"
@@ -23,6 +25,17 @@ type Options struct {
 	Par int
 	// Workers overrides the spec's engine worker count when non-zero.
 	Workers int
+	// Registry, when non-nil, collects sweep progress and per-backend
+	// engine metrics for every replication (served live by cmd/sweep's
+	// -metrics-addr exporter). Purely read-only instrumentation: results
+	// are bit-identical with or without it.
+	Registry *obs.Registry
+	// Journal, when non-nil, receives the run's NDJSON event stream:
+	// run/cell boundaries and, for each cell's replication 0, per-round
+	// stats, phase timings, and event-schedule firings. Replication 0 is
+	// the journaled representative to bound journal volume independently
+	// of the replication count.
+	Journal *obs.Journal
 }
 
 // CellResult is one finished grid cell: the cell, its per-replication
@@ -85,11 +98,35 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	var sm *obs.SweepMetrics
+	if opts.Registry != nil {
+		sm = obs.NewSweepMetrics(opts.Registry)
+		sm.CellsTotal.Set(float64(len(cells)))
+		runner.SetMetrics(obs.NewRunnerMetrics(opts.Registry))
+	}
+	if opts.Journal != nil {
+		opts.Journal.RunStart(s.Name, len(cells), s.Reps)
+	}
+	runStart := time.Now()
+
 	res := &Result{Spec: s, Table: s.tableSkeleton()}
 	for _, cell := range cells {
-		cr, err := s.runCell(ctx, cell)
+		if opts.Journal != nil {
+			opts.Journal.CellStart(cell.Index, cell.Label())
+		}
+		cellStart := time.Now()
+		cr, err := s.runCell(ctx, cell, opts.Registry, opts.Journal)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %s cell %d (%s): %w", s.Name, cell.Index, cell.Label(), err)
+		}
+		elapsed := time.Since(cellStart)
+		if sm != nil {
+			sm.CellsDone.Inc()
+			sm.RepsDone.Add(uint64(s.Reps))
+			sm.CellSeconds.ObserveDuration(elapsed)
+		}
+		if opts.Journal != nil {
+			opts.Journal.CellFinish(cell.Index, s.Reps, elapsed.Seconds())
 		}
 		res.Cells = append(res.Cells, cr)
 		if err := s.addRow(&res.Table, &res.Cells[len(res.Cells)-1]); err != nil {
@@ -98,6 +135,15 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 	}
 	res.Table.AddNote("scenario %s v%d: %d cells × %d reps, seed %d, dynamics %s on %s",
 		s.Name, s.Version, len(cells), s.Reps, s.Seed, s.Dynamics.Kind, s.Instance.Family)
+	if opts.Journal != nil {
+		opts.Journal.RunFinish(time.Since(runStart).Seconds())
+		if err := opts.Journal.Err(); err != nil {
+			return nil, fmt.Errorf("scenario: journal: %w", err)
+		}
+	}
+	if sm != nil {
+		sm.RunComplete.Set(1)
+	}
 	return res, nil
 }
 
@@ -122,8 +168,10 @@ func (s *Spec) engineWorkers() int {
 	return s.Workers
 }
 
-// runCell executes one cell's replications through runner.Spec.
-func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
+// runCell executes one cell's replications through runner.Spec,
+// instrumenting every replication with reg and journaling replication 0
+// when j is non-nil (both optional).
+func (s *Spec) runCell(ctx context.Context, cell Cell, reg *obs.Registry, j *obs.Journal) (CellResult, error) {
 	fam := families[s.Instance.Family]
 	kind := dynKinds[s.Dynamics.Kind]
 	var stopK stopKind
@@ -183,12 +231,24 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Replication 0 is the journaled representative: its rounds,
+			// phase timings, and event firings stream to the journal.
+			var repJ *obs.Journal
+			if rep == 0 {
+				repJ = j
+			}
 			if sched != nil {
+				var fobs []events.FiringObserver
+				if repJ != nil {
+					fobs = append(fobs, func(round, index int, kind events.Kind) {
+						repJ.EventFired(cell.Index, rep, round, index, string(kind))
+					})
+				}
 				switch d := built.Dyn.(type) {
 				case *dynamics.Engine:
-					err = d.SetEvents(sched)
+					err = d.SetEvents(sched, fobs...)
 				case *dynamics.Fluid:
-					err = d.SetEvents(sched)
+					err = d.SetEvents(sched, fobs...)
 				default:
 					err = fmt.Errorf("%w: dynamics %s does not support event schedules", ErrInvalid, s.Dynamics.Kind)
 				}
@@ -196,6 +256,7 @@ func (s *Spec) runCell(ctx context.Context, cell Cell) (CellResult, error) {
 					return nil, err
 				}
 			}
+			dynamics.Instrument(built.Dyn, reg, repJ, cell.Index, rep)
 			if s.Stop != nil {
 				stop, err := stopK.Build(cell.Stop, built)
 				if err != nil {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"congame/internal/core"
+	"congame/internal/obs"
 )
 
 // ErrInvalid reports an invalid trace operation.
@@ -85,13 +86,14 @@ func (r *Recorder) AvgLatencies() []float64 {
 
 // WriteCSV writes the retained rounds with a header row.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "round,movers,new_strategies,potential,avg_latency,max_latency\n"); err != nil {
+	if _, err := io.WriteString(w, "round,players,movers,new_strategies,potential,avg_latency,max_latency\n"); err != nil {
 		return fmt.Errorf("trace: write header: %w", err)
 	}
 	for i := 0; i < len(r.rounds); i++ {
 		s := r.Round(i)
 		row := strings.Join([]string{
 			strconv.Itoa(s.Round),
+			strconv.Itoa(s.Players),
 			strconv.Itoa(s.Movers),
 			strconv.Itoa(s.NewStrategies),
 			strconv.FormatFloat(s.Potential, 'g', 10, 64),
@@ -99,6 +101,21 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(s.MaxLatency, 'g', 10, 64),
 		}, ",")
 		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteNDJSON writes the retained rounds as NDJSON round events in the
+// run-journal encoding (obs.AppendRound), one object per line, so a trace
+// exported here and a live journal of the same run line up row for row.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	var buf []byte
+	for i := 0; i < len(r.rounds); i++ {
+		buf = obs.AppendRound(buf[:0], -1, -1, r.Round(i))
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("trace: write row %d: %w", i, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -112,8 +113,8 @@ func TestNewRingValidation(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	r := NewRecorder()
-	r.Observe(core.RoundStats{Round: 0, Movers: 2, Potential: 5.5, AvgLatency: 1.25, MaxLatency: 3})
-	r.Observe(core.RoundStats{Round: 1, Movers: 0, NewStrategies: 1, Potential: 4, AvgLatency: 1, MaxLatency: 2})
+	r.Observe(core.RoundStats{Round: 0, Players: 8, Movers: 2, Potential: 5.5, AvgLatency: 1.25, MaxLatency: 3})
+	r.Observe(core.RoundStats{Round: 1, Players: 8, Movers: 0, NewStrategies: 1, Potential: 4, AvgLatency: 1, MaxLatency: 2})
 	var sb strings.Builder
 	if err := r.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
@@ -122,14 +123,40 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), sb.String())
 	}
-	if !strings.HasPrefix(lines[0], "round,movers") {
+	if !strings.HasPrefix(lines[0], "round,players,movers") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if lines[1] != "0,2,0,5.5,1.25,3" {
+	if lines[1] != "0,8,2,0,5.5,1.25,3" {
 		t.Errorf("row 1 = %q", lines[1])
 	}
-	if lines[2] != "1,0,1,4,1,2" {
+	if lines[2] != "1,8,0,1,4,1,2" {
 		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(core.RoundStats{Round: 0, Players: 8, Movers: 2, Potential: 5.5, AvgLatency: 1.25, MaxLatency: 3})
+	r.Observe(core.RoundStats{Round: 1, Players: 8, NewStrategies: 1, Potential: 4, AvgLatency: 1, MaxLatency: 2})
+	var sb strings.Builder
+	if err := r.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON has %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if m["t"] != "round" || m["players"] != 8.0 {
+			t.Errorf("line %d = %v", i, m)
+		}
+		if _, ok := m["cell"]; ok {
+			t.Errorf("single-run NDJSON must omit cell: %v", m)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"congame/internal/latency"
 	"congame/internal/prng"
@@ -329,7 +330,25 @@ type Engine struct {
 	linkLat []float64     // per-round cache of ℓ_e(W_e)
 	targets []int32       // reusable decision buffer
 	blocks  []*prng.Block // one batched PRNG block per worker
+	timer   func(StepTimings)
 }
+
+// StepTimings carries the wall-clock durations of one weighted Step's
+// phases: Snapshot covers the per-round link-latency cache fill (the
+// weighted analogue of the RoundView sync), Decide the sharded decision
+// pass, Apply the sequential move loop, and Step the whole round. The
+// mirror of core.StepTimings for the weighted backend.
+type StepTimings struct {
+	Snapshot time.Duration
+	Decide   time.Duration
+	Apply    time.Duration
+	Step     time.Duration
+}
+
+// SetStepTimer installs (or, with nil, removes) a per-round phase timer.
+// It runs synchronously after each Step; with none installed the round
+// takes no timestamps (nil checks only).
+func (e *Engine) SetStepTimer(fn func(StepTimings)) { e.timer = fn }
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -457,6 +476,15 @@ func (e *Engine) decidePlayerCursor(i, n int, cur *prng.Cursor, nu, scale float6
 
 // Step executes one concurrent round and returns the number of migrations.
 func (e *Engine) Step() int {
+	var (
+		t     StepTimings
+		start time.Time
+		mark  time.Time
+	)
+	if e.timer != nil {
+		start = time.Now()
+		mark = start
+	}
 	n := e.st.g.NumPlayers()
 	m := e.st.g.NumLinks()
 	if cap(e.linkLat) < m {
@@ -470,6 +498,11 @@ func (e *Engine) Step() int {
 		e.targets = make([]int32, n)
 	}
 	e.targets = e.targets[:n]
+	if e.timer != nil {
+		now := time.Now()
+		t.Snapshot = now.Sub(mark)
+		mark = now
+	}
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -496,6 +529,11 @@ func (e *Engine) Step() int {
 		}
 		wg.Wait()
 	}
+	if e.timer != nil {
+		now := time.Now()
+		t.Decide = now.Sub(mark)
+		mark = now
+	}
 	moves := 0
 	for i, to := range e.targets {
 		if to >= 0 && int32(to) != e.st.assign[i] {
@@ -503,7 +541,14 @@ func (e *Engine) Step() int {
 			moves++
 		}
 	}
+	if e.timer != nil {
+		t.Apply = time.Since(mark)
+	}
 	e.round++
+	if e.timer != nil {
+		t.Step = time.Since(start)
+		e.timer(t)
+	}
 	return moves
 }
 
