@@ -3,7 +3,8 @@
 # `make sweep-golden` the committed scenario golden files. Run
 # `make help` for a target overview.
 #
-# Benchmark gating (the CI bench-gate job runs `make bench-gate`):
+# Benchmark gating (the CI bench-gate job runs `make bench-gate`;
+# OPERATIONS.md §7 is the full waiver / re-baseline runbook):
 #   - BENCH_BASELINE is the committed report the gate diffs against.
 #   - A legitimate perf change (or new hardware) re-baselines with
 #     `make bench` and commits the updated $(BENCH_BASELINE).
@@ -48,7 +49,7 @@ PGO_FLAG = $(if $(wildcard default.pgo),-pgo=default.pgo,)
 
 .PHONY: all build test test-short race vet fmt bench bench-gate \
         bench-history pgo experiments examples sweep-quick sweep-golden \
-        sweep-check help
+        sweep-check serve-smoke help
 
 all: build test
 
@@ -114,6 +115,9 @@ sweep-golden: ## Regenerate the committed golden CSVs for the example specs.
 			-out examples/scenarios/golden/$$s.csv >/dev/null || exit 1; \
 		echo "wrote examples/scenarios/golden/$$s.csv"; \
 	done
+
+serve-smoke: ## End-to-end daemon check: submit, kill mid-run, resume, byte-compare vs cmd/sweep (CI).
+	sh scripts/serve-smoke.sh
 
 sweep-check: sweep-golden ## Regenerate goldens and fail on any diff (CI).
 	git diff --exit-code examples/scenarios/golden

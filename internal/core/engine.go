@@ -503,3 +503,28 @@ func (e *Engine) Run(maxRounds int, stop StopCondition) RunResult {
 func (e *Engine) currentStats() RoundStats {
 	return RoundStats{Round: e.round - 1, Players: e.st.Game().NumPlayers(), Potential: e.phi, AvgLatency: e.st.AvgLatency(), MaxLatency: e.st.Makespan()}
 }
+
+// TotalMoves returns the lifetime migration count accumulated over every
+// executed round (the value Run reports as RunResult.TotalMoves).
+func (e *Engine) TotalMoves() int { return e.moves }
+
+// Restore overwrites the engine's round counter, incrementally maintained
+// potential, and lifetime move count — the three pieces of engine-level
+// trajectory state that are not derivable from the game state alone. It is
+// the checkpoint/resume entry point (internal/checkpoint): after the game
+// state has been rebuilt to its at-checkpoint value, Restore makes the
+// engine continue exactly where the checkpointed one left off. The phi
+// passed in must be the checkpointed engine's incrementally maintained
+// potential (NOT a freshly recomputed st.Potential(), whose rounding can
+// differ), so the resumed trajectory reports bit-identical potentials.
+// PRNG state needs no restoring: decision draws are derived statelessly
+// from (seed, round, player), so setting the round is sufficient.
+func (e *Engine) Restore(round int, phi float64, moves int) error {
+	if round < 0 || moves < 0 {
+		return fmt.Errorf("%w: restore round %d, moves %d — both must be non-negative", ErrInvalid, round, moves)
+	}
+	e.round = round
+	e.phi = phi
+	e.moves = moves
+	return nil
+}

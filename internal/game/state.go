@@ -258,6 +258,56 @@ func (st *State) EnsureStrategies() {
 	}
 }
 
+// Reassign overwrites the player-to-strategy assignment wholesale and
+// recomputes the per-strategy counts and per-resource loads by fresh
+// summation — the same integer sums NewStateFromAssignment performs, so a
+// reassigned state is bit-identical to one built from scratch with the
+// same vector. If the vector's length differs from the current n the
+// population is resized (single-class games only, mirroring
+// AddPlayers/RemovePlayers). Every resource's epoch is stamped, so
+// incremental RoundViews fully refresh on the next Sync. It is the
+// checkpoint/restore entry point (internal/checkpoint).
+func (st *State) Reassign(assign []int32) error {
+	g := st.g
+	if len(assign) == 0 {
+		return fmt.Errorf("%w: reassign with an empty assignment", ErrInvalid)
+	}
+	if len(assign) != g.n && g.numClasses != 1 {
+		return fmt.Errorf("%w: reassign with %d players onto a %d-player multi-class game", ErrInvalid, len(assign), g.n)
+	}
+	for p, s := range assign {
+		if s < 0 || int(s) >= g.NumStrategies() {
+			return fmt.Errorf("%w: player %d assigned to strategy %d, have %d strategies", ErrInvalid, p, s, g.NumStrategies())
+		}
+	}
+	if n := len(assign); n != g.n {
+		g.n = n
+		g.classOf = make([]int32, n)
+		members := make([]int32, n)
+		for p := range members {
+			members[p] = int32(p)
+		}
+		g.classMembers = [][]int32{members}
+	}
+	st.assign = append(st.assign[:0], assign...)
+	st.counts = make([]int64, g.NumStrategies())
+	st.load = make([]int64, len(g.resources))
+	for _, s := range st.assign {
+		st.counts[s]++
+		for _, e := range g.strat(int(s)) {
+			st.load[e]++
+		}
+	}
+	if len(st.resEpoch) != len(g.resources) {
+		st.resEpoch = make([]uint64, len(g.resources))
+	}
+	st.mutEpoch++
+	for e := range st.resEpoch {
+		st.resEpoch[e] = st.mutEpoch
+	}
+	return nil
+}
+
 // Clone returns a deep copy sharing the (immutable) game.
 func (st *State) Clone() *State {
 	return &State{

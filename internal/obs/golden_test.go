@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"congame/internal/core"
+)
+
+// goldenStats are the fixtures behind testdata/round-rows.golden.ndjson:
+// a plain row and one with non-finite floats (which must render as null
+// to keep every line parseable). The golden file holds each once with
+// cell/rep attribution and once without — the three producers of this
+// row schema (Journal.Round here, trace.Recorder.WriteNDJSON, and the
+// serve daemon's SSE stream) are all pinned against it.
+var goldenStats = []core.RoundStats{
+	{Round: 0, Players: 300, Movers: 12, NewStrategies: 2, Potential: 1234.5, AvgLatency: 4.125, MaxLatency: 9},
+	{Round: 7, Players: 256, Movers: 0, NewStrategies: 0, Potential: math.NaN(), AvgLatency: math.Inf(1), MaxLatency: 0.0078125},
+}
+
+// The other packages' golden tests read the same fixture by relative
+// path (../obs/testdata/round-rows.golden.ndjson).
+const goldenRoundPath = "testdata/round-rows.golden.ndjson"
+
+func goldenLines(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(goldenRoundPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+}
+
+// TestAppendRoundGolden pins the NDJSON round-row encoding byte for
+// byte: with cell/rep attribution (journal form) and without (trace and
+// single-run form). Any drift here breaks journal consumers, trace
+// round-tripping, and SSE clients at once, so it must be deliberate —
+// update the golden file and OPERATIONS.md together.
+func TestAppendRoundGolden(t *testing.T) {
+	want := goldenLines(t)
+	if len(want) != 2*len(goldenStats) {
+		t.Fatalf("golden file has %d lines, want %d", len(want), 2*len(goldenStats))
+	}
+	for i, s := range goldenStats {
+		if got := string(AppendRound(nil, 3, 1, s)); got != want[i] {
+			t.Errorf("attributed row %d:\ngot  %s\nwant %s", i, got, want[i])
+		}
+		if got := string(AppendRound(nil, -1, -1, s)); got != want[len(goldenStats)+i] {
+			t.Errorf("bare row %d:\ngot  %s\nwant %s", i, got, want[len(goldenStats)+i])
+		}
+	}
+}
+
+// TestJournalRoundGolden checks the full journal path (buffering, mutex,
+// scratch reuse) emits exactly the golden bytes.
+func TestJournalRoundGolden(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	for _, s := range goldenStats {
+		j.Round(3, 1, s)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := goldenLines(t)
+	got := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(got) != len(goldenStats) {
+		t.Fatalf("journal wrote %d lines, want %d", len(got), len(goldenStats))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\ngot  %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}

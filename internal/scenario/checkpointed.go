@@ -1,0 +1,526 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"congame/internal/checkpoint"
+	"congame/internal/dynamics"
+	"congame/internal/fluid"
+	"congame/internal/obs"
+)
+
+// ErrSuspended reports a checkpointed run that stopped on context
+// cancellation after persisting its progress; invoking RunCheckpointed
+// again with the same spec and state directory resumes it.
+var ErrSuspended = errors.New("scenario: run suspended")
+
+// CheckpointConfig configures RunCheckpointed's persistence.
+type CheckpointConfig struct {
+	// Dir is the state directory holding the progress manifest
+	// (checkpoint.json). Required; created if missing.
+	Dir string
+	// Every is the mid-replication snapshot cadence in rounds for the
+	// engine and fluid families; ≤ 0 selects DefaultCheckpointEvery.
+	// Snapshot cadence never changes results — only how much work a crash
+	// can lose.
+	Every int
+}
+
+// DefaultCheckpointEvery is the snapshot cadence when CheckpointConfig
+// leaves Every unset.
+const DefaultCheckpointEvery = 200
+
+// manifestName is the single progress file inside the state directory.
+// Everything — the spec fingerprint, completed replication results, and
+// the in-flight binary snapshot — lives in this one atomically replaced
+// file, so no crash window can leave the pieces inconsistent with each
+// other.
+const manifestName = "checkpoint.json"
+
+// statsRecord is dynamics.RoundStats with floats as IEEE-754 bit
+// patterns, so a result survives the JSON round trip bit for bit (and NaN
+// survives at all).
+type statsRecord struct {
+	Round          int    `json:"round"`
+	Players        int    `json:"players"`
+	Movers         int    `json:"movers"`
+	NewStrategies  int    `json:"new_strategies"`
+	PotentialBits  uint64 `json:"potential_bits"`
+	AvgLatencyBits uint64 `json:"avg_latency_bits"`
+	MaxLatencyBits uint64 `json:"max_latency_bits"`
+}
+
+func toStatsRecord(r dynamics.RoundStats) statsRecord {
+	return statsRecord{
+		Round:          r.Round,
+		Players:        r.Players,
+		Movers:         r.Movers,
+		NewStrategies:  r.NewStrategies,
+		PotentialBits:  math.Float64bits(r.Potential),
+		AvgLatencyBits: math.Float64bits(r.AvgLatency),
+		MaxLatencyBits: math.Float64bits(r.MaxLatency),
+	}
+}
+
+func (r statsRecord) stats() dynamics.RoundStats {
+	return dynamics.RoundStats{
+		Round:         r.Round,
+		Players:       r.Players,
+		Movers:        r.Movers,
+		NewStrategies: r.NewStrategies,
+		Potential:     math.Float64frombits(r.PotentialBits),
+		AvgLatency:    math.Float64frombits(r.AvgLatencyBits),
+		MaxLatency:    math.Float64frombits(r.MaxLatencyBits),
+	}
+}
+
+// runRecord is dynamics.RunResult in manifest form.
+type runRecord struct {
+	Rounds     int         `json:"rounds"`
+	Converged  bool        `json:"converged"`
+	TotalMoves int         `json:"total_moves"`
+	Final      statsRecord `json:"final"`
+}
+
+func toRunRecord(r dynamics.RunResult) runRecord {
+	return runRecord{Rounds: r.Rounds, Converged: r.Converged, TotalMoves: r.TotalMoves, Final: toStatsRecord(r.Final)}
+}
+
+func (r runRecord) result() dynamics.RunResult {
+	return dynamics.RunResult{Rounds: r.Rounds, Converged: r.Converged, TotalMoves: r.TotalMoves, Final: r.Final.stats()}
+}
+
+// driftRecord is fluid.Drift in manifest form (bit-exact floats).
+type driftRecord struct {
+	SupLinfBits   uint64 `json:"sup_linf_bits"`
+	SupL1Bits     uint64 `json:"sup_l1_bits"`
+	FinalLinfBits uint64 `json:"final_linf_bits"`
+	FinalL1Bits   uint64 `json:"final_l1_bits"`
+	Rounds        int    `json:"rounds"`
+}
+
+func toDriftRecord(d fluid.Drift) driftRecord {
+	return driftRecord{
+		SupLinfBits:   math.Float64bits(d.SupLinf),
+		SupL1Bits:     math.Float64bits(d.SupL1),
+		FinalLinfBits: math.Float64bits(d.FinalLinf),
+		FinalL1Bits:   math.Float64bits(d.FinalL1),
+		Rounds:        d.Rounds,
+	}
+}
+
+func (r driftRecord) drift() fluid.Drift {
+	return fluid.Drift{
+		SupLinf:   math.Float64frombits(r.SupLinfBits),
+		SupL1:     math.Float64frombits(r.SupL1Bits),
+		FinalLinf: math.Float64frombits(r.FinalLinfBits),
+		FinalL1:   math.Float64frombits(r.FinalL1Bits),
+		Rounds:    r.Rounds,
+	}
+}
+
+// repRecord is one completed replication.
+type repRecord struct {
+	Cell   int          `json:"cell"`
+	Rep    int          `json:"rep"`
+	Result runRecord    `json:"result"`
+	Drift  *driftRecord `json:"drift,omitempty"`
+}
+
+// snapRecord is the in-flight mid-replication snapshot: which (cell, rep)
+// it belongs to, the stats of the last completed round (so a resume that
+// steps zero further rounds still reports the right Final), and the
+// encoded checkpoint.Snapshot (JSON base64).
+type snapRecord struct {
+	Cell int         `json:"cell"`
+	Rep  int         `json:"rep"`
+	Last statsRecord `json:"last"`
+	Data []byte      `json:"data"`
+}
+
+// manifest is the checkpoint.json schema. The fingerprint fields pin the
+// effective spec the progress belongs to; a resume under a different spec
+// is rejected rather than silently mixing trajectories.
+type manifest struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Family   string `json:"family"`
+	Dynamics string `json:"dynamics"`
+	Seed     uint64 `json:"seed"`
+	Cells    int    `json:"cells"`
+	Reps     int    `json:"reps"`
+	Rounds   int    `json:"rounds"`
+
+	Done []repRecord `json:"done"`
+	Snap *snapRecord `json:"snapshot,omitempty"`
+}
+
+func (m *manifest) matches(s *Spec, cells int) error {
+	if m.Name != s.Name || m.Version != s.Version || m.Family != s.Instance.Family ||
+		m.Dynamics != s.Dynamics.Kind || m.Seed != s.Seed || m.Cells != cells ||
+		m.Reps != s.Reps || m.Rounds != s.Rounds {
+		return fmt.Errorf("%w: state directory holds progress for %q (v%d, seed %d, %d cells × %d reps × %d rounds), not this spec",
+			ErrInvalid, m.Name, m.Version, m.Seed, m.Cells, m.Reps, m.Rounds)
+	}
+	return nil
+}
+
+// find returns the completed record for (cell, rep), if any.
+func (m *manifest) find(cell, rep int) *repRecord {
+	for i := range m.Done {
+		if m.Done[i].Cell == cell && m.Done[i].Rep == rep {
+			return &m.Done[i]
+		}
+	}
+	return nil
+}
+
+// save atomically replaces the manifest file (temp + fsync + rename, the
+// same protocol as checkpoint.WriteFile).
+func (m *manifest) save(path string) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("scenario: checkpoint manifest: %w", err)
+	}
+	if err := checkpoint.WriteBytes(path, data); err != nil {
+		return fmt.Errorf("scenario: checkpoint manifest: %w", err)
+	}
+	return nil
+}
+
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario: checkpoint manifest: %w", err)
+	}
+	m := &manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("scenario: checkpoint manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// RunCheckpointed executes the spec like Run but persists progress into
+// cfg.Dir so an interrupted run resumes where it left off, producing a
+// table byte-identical to an uninterrupted Run of the same spec.
+//
+// Granularity: completed replications are recorded in the manifest and
+// never re-executed. Within an in-flight replication of the engine and
+// fluid families a binary snapshot (internal/checkpoint) is written every
+// cfg.Every rounds and on context cancellation, and a resume restores it
+// and continues bit-identically — including the "quiet" stop condition,
+// whose trailing zero-migration streak rides along in the snapshot.
+// Sequential-family replications, the traced replication, and
+// drift-tracked replications re-run from round 0 on resume (their
+// observer state is not snapshotted); determinism makes the re-run
+// bit-identical, it just repeats work.
+//
+// Replications run sequentially (the spec's par is ignored); the engine
+// worker count is unconstrained because trajectories are worker-invariant.
+// On cancellation the error wraps both ErrSuspended and ctx.Err().
+func RunCheckpointed(ctx context.Context, spec *Spec, opts Options, cfg CheckpointConfig) (*Result, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("%w: nil spec", ErrInvalid)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("%w: checkpointed run needs a state directory", ErrInvalid)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	every := cfg.Every
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+
+	s := spec.Effective(opts.Quick)
+	s.Par = 1 // sequential by construction; output is par-invariant anyway
+	if opts.Workers != 0 {
+		s.Workers = opts.Workers
+	}
+	cells, err := Grid(s, false)
+	if err != nil {
+		return nil, err
+	}
+
+	mpath := filepath.Join(cfg.Dir, manifestName)
+	m, err := loadManifest(mpath)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = &manifest{
+			Name: s.Name, Version: s.Version, Family: s.Instance.Family,
+			Dynamics: s.Dynamics.Kind, Seed: s.Seed, Cells: len(cells),
+			Reps: s.Reps, Rounds: s.Rounds,
+		}
+	} else if err := m.matches(s, len(cells)); err != nil {
+		return nil, err
+	}
+	// The traced replication must re-run on resume so the recorder holds
+	// the full trajectory; determinism makes the re-run result identical
+	// to the recorded one, so dropping the record is safe.
+	if s.Trace != nil {
+		kept := m.Done[:0]
+		for _, r := range m.Done {
+			if r.Rep != s.Trace.Rep {
+				kept = append(kept, r)
+			}
+		}
+		m.Done = kept
+		if m.Snap != nil && m.Snap.Rep == s.Trace.Rep {
+			m.Snap = nil
+		}
+	}
+
+	var sm *obs.SweepMetrics
+	if opts.Registry != nil {
+		sm = obs.NewSweepMetrics(opts.Registry)
+		sm.CellsTotal.Set(float64(len(cells)))
+	}
+	if opts.Journal != nil {
+		opts.Journal.RunStart(s.Name, len(cells), s.Reps)
+	}
+	runStart := time.Now()
+
+	res := &Result{Spec: s, Table: s.tableSkeleton()}
+	for _, cell := range cells {
+		if opts.Journal != nil {
+			opts.Journal.CellStart(cell.Index, cell.Label())
+		}
+		cellStart := time.Now()
+		cr, err := s.runCellCheckpointed(ctx, cell, opts, m, mpath, every)
+		if err != nil {
+			if errors.Is(err, ErrSuspended) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("scenario: %s cell %d (%s): %w", s.Name, cell.Index, cell.Label(), err)
+		}
+		elapsed := time.Since(cellStart)
+		if sm != nil {
+			sm.CellsDone.Inc()
+			sm.RepsDone.Add(uint64(s.Reps))
+			sm.CellSeconds.ObserveDuration(elapsed)
+		}
+		if opts.Journal != nil {
+			opts.Journal.CellFinish(cell.Index, s.Reps, elapsed.Seconds())
+		}
+		res.Cells = append(res.Cells, cr)
+		if err := s.addRow(&res.Table, &res.Cells[len(res.Cells)-1]); err != nil {
+			return nil, err
+		}
+	}
+	res.Table.AddNote("scenario %s v%d: %d cells × %d reps, seed %d, dynamics %s on %s",
+		s.Name, s.Version, len(cells), s.Reps, s.Seed, s.Dynamics.Kind, s.Instance.Family)
+	if opts.Journal != nil {
+		opts.Journal.RunFinish(time.Since(runStart).Seconds())
+		if err := opts.Journal.Err(); err != nil {
+			return nil, fmt.Errorf("scenario: journal: %w", err)
+		}
+	}
+	if sm != nil {
+		sm.RunComplete.Set(1)
+	}
+	return res, nil
+}
+
+// runCellCheckpointed executes one cell's replications sequentially,
+// skipping completed ones, resuming a snapshotted one, and appending each
+// finished replication to the manifest.
+func (s *Spec) runCellCheckpointed(ctx context.Context, cell Cell, opts Options, m *manifest, mpath string, every int) (CellResult, error) {
+	c, err := s.newCellRun(cell, opts.Registry, opts.Journal)
+	if err != nil {
+		return CellResult{}, err
+	}
+	results := make([]dynamics.RunResult, s.Reps)
+	var drifts []fluid.Drift
+	if s.wantsDrift() {
+		drifts = make([]fluid.Drift, s.Reps)
+	}
+	for rep := 0; rep < s.Reps; rep++ {
+		if rec := m.find(cell.Index, rep); rec != nil {
+			results[rep] = rec.Result.result()
+			if drifts != nil {
+				if rec.Drift == nil {
+					return CellResult{}, fmt.Errorf("%w: manifest record for cell %d rep %d lacks the drift summary this spec needs", ErrInvalid, cell.Index, rep)
+				}
+				drifts[rep] = rec.Drift.drift()
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return CellResult{}, fmt.Errorf("%w at cell %d rep %d: %w", ErrSuspended, cell.Index, rep, err)
+		}
+
+		d, err := c.build(rep)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res, err := s.runRep(ctx, cell, rep, d, c, m, mpath, every)
+		if err != nil {
+			return CellResult{}, err
+		}
+		results[rep] = res
+
+		rec := repRecord{Cell: cell.Index, Rep: rep, Result: toRunRecord(res)}
+		if drifts != nil {
+			drifts[rep] = c.trackers[rep].Drift()
+			dr := toDriftRecord(drifts[rep])
+			rec.Drift = &dr
+		}
+		m.Done = append(m.Done, rec)
+		if m.Snap != nil && m.Snap.Cell == cell.Index && m.Snap.Rep == rep {
+			m.Snap = nil
+		}
+		if err := m.save(mpath); err != nil {
+			return CellResult{}, err
+		}
+	}
+	return s.assembleCell(cell, results, c.recorder, drifts)
+}
+
+// snapshottable returns the capture half of the checkpoint pair for
+// families with mid-replication snapshot support, or nil.
+func snapshottable(d dynamics.Dynamics) func(quietStreak int) *checkpoint.Snapshot {
+	switch a := d.(type) {
+	case *dynamics.Engine:
+		return func(q int) *checkpoint.Snapshot { return checkpoint.CaptureEngine(a.Engine(), q) }
+	case *dynamics.Fluid:
+		return func(q int) *checkpoint.Snapshot { return checkpoint.CaptureFluid(a.Sim(), q) }
+	}
+	return nil
+}
+
+// restoreDynamics overlays a snapshot onto a freshly built replication.
+func (c *cellRun) restoreDynamics(d dynamics.Dynamics, snap *checkpoint.Snapshot) error {
+	switch a := d.(type) {
+	case *dynamics.Engine:
+		return checkpoint.RestoreEngine(a.Engine(), snap, c.sched)
+	case *dynamics.Fluid:
+		return checkpoint.RestoreFluid(a.Sim(), snap, c.sched)
+	}
+	return fmt.Errorf("%w: dynamics %s does not support mid-replication snapshots", ErrInvalid, c.s.Dynamics.Kind)
+}
+
+// totalMoves mirrors what each family's Run reports as
+// RunResult.TotalMoves: the engine's lifetime move counter; zero for the
+// fluid family (a continuum has no move count).
+func totalMoves(d dynamics.Dynamics) int {
+	if a, ok := d.(*dynamics.Engine); ok {
+		return a.Engine().TotalMoves()
+	}
+	return 0
+}
+
+// runRep executes one replication to completion, writing mid-run
+// snapshots where the family supports them and resuming from the
+// manifest's snapshot when it belongs to this (cell, rep).
+func (s *Spec) runRep(ctx context.Context, cell Cell, rep int, d dynamics.Dynamics, c *cellRun, m *manifest, mpath string, every int) (dynamics.RunResult, error) {
+	stop := c.stops[rep]
+	capture := snapshottable(d)
+	// The traced and drift-tracked replications accumulate observer state
+	// a snapshot does not capture; they run whole (and re-run on resume).
+	if c.recorder != nil && rep == s.Trace.Rep {
+		capture = nil
+	}
+	if c.trackers != nil {
+		capture = nil
+	}
+	// Families without snapshot support (and the observer-laden
+	// replications above) run whole through their own Run — the sequential
+	// adapter has absorption semantics a manual step loop would not
+	// reproduce. Interruption granularity for them is the replication.
+	if capture == nil {
+		return d.Run(s.Rounds, stop), nil
+	}
+
+	rounds, streak := 0, 0
+	var last dynamics.RoundStats
+	resuming := false
+
+	if m.Snap != nil && m.Snap.Cell == cell.Index && m.Snap.Rep == rep {
+		snap, err := checkpoint.Decode(m.Snap.Data)
+		if err != nil {
+			return dynamics.RunResult{}, fmt.Errorf("cell %d rep %d snapshot: %w", cell.Index, rep, err)
+		}
+		if err := c.restoreDynamics(d, snap); err != nil {
+			return dynamics.RunResult{}, fmt.Errorf("cell %d rep %d: %w", cell.Index, rep, err)
+		}
+		rounds = int(snap.Round)
+		streak = int(snap.QuietStreak)
+		last = m.Snap.Last.stats()
+		resuming = true
+		// Re-prime the only stateful stop condition: feed the fresh
+		// "quiet" counter the trailing zero-migration streak the
+		// interrupted run had seen. The streak is strictly below the stop
+		// threshold (the run would have stopped otherwise), so priming
+		// never fires.
+		if stop != nil && s.Stop != nil && s.Stop.Kind == "quiet" {
+			for i := 0; i < streak; i++ {
+				stop(d, dynamics.RoundStats{Movers: 0})
+			}
+		}
+	}
+
+	if !resuming {
+		// The pre-run stop probe, exactly as Dynamics.Run performs it
+		// (and with its early-return RunResult). A resumed run skips the
+		// probe: its original run already performed it, and the families'
+		// probe guards key off Round < 0, which no longer holds.
+		probe := d.Run(0, stop)
+		if probe.Converged {
+			return probe, nil
+		}
+		if s.Rounds <= 0 {
+			return probe, nil
+		}
+		last = probe.Final
+	}
+
+	converged := false
+	for rounds < s.Rounds {
+		if err := ctx.Err(); err != nil {
+			if serr := persistSnapshot(capture(streak), cell.Index, rep, last, m, mpath); serr != nil {
+				return dynamics.RunResult{}, serr
+			}
+			return dynamics.RunResult{}, fmt.Errorf("%w at cell %d rep %d round %d: %w", ErrSuspended, cell.Index, rep, rounds, err)
+		}
+		last = d.Step()
+		rounds++
+		if last.Movers == 0 {
+			streak++
+		} else {
+			streak = 0
+		}
+		if stop != nil && stop(d, last) {
+			converged = true
+			break
+		}
+		if rounds%every == 0 && rounds < s.Rounds {
+			if err := persistSnapshot(capture(streak), cell.Index, rep, last, m, mpath); err != nil {
+				return dynamics.RunResult{}, err
+			}
+		}
+	}
+	return dynamics.RunResult{Rounds: rounds, Converged: converged, TotalMoves: totalMoves(d), Final: last}, nil
+}
+
+// persistSnapshot stores a mid-replication snapshot in the manifest and
+// writes it out atomically.
+func persistSnapshot(snap *checkpoint.Snapshot, cell, rep int, last dynamics.RoundStats, m *manifest, mpath string) error {
+	m.Snap = &snapRecord{Cell: cell, Rep: rep, Last: toStatsRecord(last), Data: snap.Encode()}
+	return m.save(mpath)
+}

@@ -168,130 +168,135 @@ func (s *Spec) engineWorkers() int {
 	return s.Workers
 }
 
-// runCell executes one cell's replications through runner.Spec,
-// instrumenting every replication with reg and journaling replication 0
-// when j is non-nil (both optional).
-func (s *Spec) runCell(ctx context.Context, cell Cell, reg *obs.Registry, j *obs.Journal) (CellResult, error) {
-	fam := families[s.Instance.Family]
-	kind := dynKinds[s.Dynamics.Kind]
-	var stopK stopKind
-	if s.Stop != nil {
-		stopK = stopKinds[s.Stop.Kind]
-	}
-	workers := s.engineWorkers()
+// cellRun bundles one cell's shared construction state — schedule, trace
+// recorder, per-replication stop conditions and drift trackers — so the
+// pooled driver (runCell) and the sequential checkpointing driver
+// (RunCheckpointed) build replications through the identical path.
+type cellRun struct {
+	s        *Spec
+	cell     Cell
+	workers  int
+	sched    *events.Schedule
+	recorder *trace.Recorder
+	// stops[rep] is written by build and read afterwards for the same rep
+	// on the same goroutine (runner.Run calls New and Stop back to back),
+	// so per-replication stop conditions can close over the replication's
+	// own Built context without synchronization. trackers follows the
+	// same discipline (written in build, read only after the rep joins).
+	stops    []dynamics.StopCondition
+	trackers []*fluid.DriftTracker
+	reg      *obs.Registry
+	j        *obs.Journal
+}
 
-	// The schedule is stateless (per-round application reads only the
-	// passed state), so one instance is shared by every replication; the
-	// per-instance validation happens inside SetEvents.
-	var sched *events.Schedule
+// newCellRun prepares the per-cell shared state. The schedule is
+// stateless (per-round application reads only the passed state), so one
+// instance is shared by every replication; the per-instance validation
+// happens inside SetEvents.
+func (s *Spec) newCellRun(cell Cell, reg *obs.Registry, j *obs.Journal) (*cellRun, error) {
+	c := &cellRun{s: s, cell: cell, workers: s.engineWorkers(), reg: reg, j: j}
 	if len(s.Events) > 0 {
 		var err error
-		sched, err = events.NewSchedule(s.Events)
+		c.sched, err = events.NewSchedule(s.Events)
 		if err != nil {
-			return CellResult{}, fmt.Errorf("%w: %w", ErrInvalid, err)
+			return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 		}
 	}
-
-	var recorder *trace.Recorder
 	if s.Trace != nil {
 		var err error
 		if s.Trace.Capacity > 0 {
-			recorder, err = trace.NewRing(s.Trace.Capacity)
+			c.recorder, err = trace.NewRing(s.Trace.Capacity)
 		} else {
-			recorder = trace.NewRecorder()
+			c.recorder = trace.NewRecorder()
 		}
 		if err != nil {
-			return CellResult{}, err
+			return nil, err
 		}
 	}
-
-	// stops[rep] is written by New and read by Stop for the same rep on
-	// the same worker goroutine (runner.Run calls them back to back), so
-	// per-replication stop conditions can close over the replication's
-	// own Built context without synchronization. trackers follows the
-	// same discipline (written in New, read only after runner.Run joins).
-	stops := make([]dynamics.StopCondition, s.Reps)
-	var trackers []*fluid.DriftTracker
+	c.stops = make([]dynamics.StopCondition, s.Reps)
 	if s.wantsDrift() {
-		trackers = make([]*fluid.DriftTracker, s.Reps)
+		c.trackers = make([]*fluid.DriftTracker, s.Reps)
 	}
-	rspec := runner.Spec{
-		Reps:        s.Reps,
-		MaxRounds:   s.Rounds,
-		BaseSeed:    s.Seed,
-		Key:         uint64(cell.Index),
-		Parallelism: s.Par,
-		New: func(rep int, _ uint64) (dynamics.Dynamics, error) {
-			rng := prng.New(s.InstanceSeed(cell, rep))
-			inst, err := fam.Build(cell.Instance, rng)
-			if err != nil {
-				return nil, err
-			}
-			built, err := kind.Build(inst, cell.Dynamics, s.DynamicsSeed(cell, rep), workers)
-			if err != nil {
-				return nil, err
-			}
-			// Replication 0 is the journaled representative: its rounds,
-			// phase timings, and event firings stream to the journal.
-			var repJ *obs.Journal
-			if rep == 0 {
-				repJ = j
-			}
-			if sched != nil {
-				var fobs []events.FiringObserver
-				if repJ != nil {
-					fobs = append(fobs, func(round, index int, kind events.Kind) {
-						repJ.EventFired(cell.Index, rep, round, index, string(kind))
-					})
-				}
-				switch d := built.Dyn.(type) {
-				case *dynamics.Engine:
-					err = d.SetEvents(sched, fobs...)
-				case *dynamics.Fluid:
-					err = d.SetEvents(sched, fobs...)
-				default:
-					err = fmt.Errorf("%w: dynamics %s does not support event schedules", ErrInvalid, s.Dynamics.Kind)
-				}
-				if err != nil {
-					return nil, err
-				}
-			}
-			dynamics.Instrument(built.Dyn, reg, repJ, cell.Index, rep)
-			if s.Stop != nil {
-				stop, err := stopK.Build(cell.Stop, built)
-				if err != nil {
-					return nil, err
-				}
-				stops[rep] = stop
-			}
-			if recorder != nil && rep == s.Trace.Rep {
-				if obs, ok := built.Dyn.(dynamics.Observable); ok {
-					obs.SetObserver(recorder)
-				} else {
-					return nil, fmt.Errorf("%w: dynamics %s cannot record traces", ErrInvalid, s.Dynamics.Kind)
-				}
-			}
-			if trackers != nil {
-				tr, err := newDriftTracker(built, cell.Dynamics, s.DynamicsSeed(cell, rep))
-				if err != nil {
-					return nil, err
-				}
-				obs, ok := built.Dyn.(dynamics.Observable)
-				if !ok {
-					return nil, fmt.Errorf("%w: dynamics %s cannot attach a drift tracker", ErrInvalid, s.Dynamics.Kind)
-				}
-				obs.SetObserver(tr)
-				trackers[rep] = tr
-			}
-			return built.Dyn, nil
-		},
-		Stop: func(rep int) dynamics.StopCondition { return stops[rep] },
-	}
-	results, err := runner.Run(ctx, rspec)
-	if err != nil {
-		return CellResult{}, err
-	}
+	return c, nil
+}
 
+// build constructs one replication's dynamics: instance, dynamics kind,
+// event schedule, instrumentation, stop condition (stored in
+// c.stops[rep]), trace recorder, and drift tracker — the single
+// construction path every driver shares.
+func (c *cellRun) build(rep int) (dynamics.Dynamics, error) {
+	s, cell := c.s, c.cell
+	fam := families[s.Instance.Family]
+	kind := dynKinds[s.Dynamics.Kind]
+
+	rng := prng.New(s.InstanceSeed(cell, rep))
+	inst, err := fam.Build(cell.Instance, rng)
+	if err != nil {
+		return nil, err
+	}
+	built, err := kind.Build(inst, cell.Dynamics, s.DynamicsSeed(cell, rep), c.workers)
+	if err != nil {
+		return nil, err
+	}
+	// Replication 0 is the journaled representative: its rounds,
+	// phase timings, and event firings stream to the journal.
+	var repJ *obs.Journal
+	if rep == 0 {
+		repJ = c.j
+	}
+	if c.sched != nil {
+		var fobs []events.FiringObserver
+		if repJ != nil {
+			fobs = append(fobs, func(round, index int, kind events.Kind) {
+				repJ.EventFired(cell.Index, rep, round, index, string(kind))
+			})
+		}
+		switch d := built.Dyn.(type) {
+		case *dynamics.Engine:
+			err = d.SetEvents(c.sched, fobs...)
+		case *dynamics.Fluid:
+			err = d.SetEvents(c.sched, fobs...)
+		default:
+			err = fmt.Errorf("%w: dynamics %s does not support event schedules", ErrInvalid, s.Dynamics.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	dynamics.Instrument(built.Dyn, c.reg, repJ, cell.Index, rep)
+	if s.Stop != nil {
+		stop, err := stopKinds[s.Stop.Kind].Build(cell.Stop, built)
+		if err != nil {
+			return nil, err
+		}
+		c.stops[rep] = stop
+	}
+	if c.recorder != nil && rep == s.Trace.Rep {
+		if obs, ok := built.Dyn.(dynamics.Observable); ok {
+			obs.SetObserver(c.recorder)
+		} else {
+			return nil, fmt.Errorf("%w: dynamics %s cannot record traces", ErrInvalid, s.Dynamics.Kind)
+		}
+	}
+	if c.trackers != nil {
+		tr, err := newDriftTracker(built, cell.Dynamics, s.DynamicsSeed(cell, rep))
+		if err != nil {
+			return nil, err
+		}
+		obs, ok := built.Dyn.(dynamics.Observable)
+		if !ok {
+			return nil, fmt.Errorf("%w: dynamics %s cannot attach a drift tracker", ErrInvalid, s.Dynamics.Kind)
+		}
+		obs.SetObserver(tr)
+		c.trackers[rep] = tr
+	}
+	return built.Dyn, nil
+}
+
+// assembleCell folds per-replication results into a CellResult; both
+// drivers feed it results in replication order, so aggregates are
+// bit-identical regardless of how the replications were executed.
+func (s *Spec) assembleCell(cell Cell, results []dynamics.RunResult, rec *trace.Recorder, drifts []fluid.Drift) (CellResult, error) {
 	rounds := make([]float64, len(results))
 	for i, r := range results {
 		rounds[i] = float64(r.Rounds)
@@ -300,21 +305,46 @@ func (s *Spec) runCell(ctx context.Context, cell Cell, reg *obs.Registry, j *obs
 	if err != nil {
 		return CellResult{}, err
 	}
-	cr := CellResult{
+	return CellResult{
 		Cell:    cell,
 		Reps:    s.Reps,
 		Results: results,
 		Rounds:  summary,
 		Agg:     runner.Summarize(results),
-		Trace:   recorder,
+		Trace:   rec,
+		Drifts:  drifts,
+	}, nil
+}
+
+// runCell executes one cell's replications through runner.Spec,
+// instrumenting every replication with reg and journaling replication 0
+// when j is non-nil (both optional).
+func (s *Spec) runCell(ctx context.Context, cell Cell, reg *obs.Registry, j *obs.Journal) (CellResult, error) {
+	c, err := s.newCellRun(cell, reg, j)
+	if err != nil {
+		return CellResult{}, err
 	}
-	if trackers != nil {
-		cr.Drifts = make([]fluid.Drift, len(trackers))
-		for i, tr := range trackers {
-			cr.Drifts[i] = tr.Drift()
+	rspec := runner.Spec{
+		Reps:        s.Reps,
+		MaxRounds:   s.Rounds,
+		BaseSeed:    s.Seed,
+		Key:         uint64(cell.Index),
+		Parallelism: s.Par,
+		New:         func(rep int, _ uint64) (dynamics.Dynamics, error) { return c.build(rep) },
+		Stop:        func(rep int) dynamics.StopCondition { return c.stops[rep] },
+	}
+	results, err := runner.Run(ctx, rspec)
+	if err != nil {
+		return CellResult{}, err
+	}
+	var drifts []fluid.Drift
+	if c.trackers != nil {
+		drifts = make([]fluid.Drift, len(c.trackers))
+		for i, tr := range c.trackers {
+			drifts[i] = tr.Drift()
 		}
 	}
-	return cr, nil
+	return s.assembleCell(cell, results, c.recorder, drifts)
 }
 
 // addRow appends the cell's table row: axis values, then metric values.

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"congame/internal/core"
+)
+
+// TestWriteNDJSONGolden pins the trace export against the shared round-row
+// fixture (internal/obs/testdata): a trace exported as NDJSON must be
+// byte-identical to the journal rows of the same rounds, minus the
+// cell/rep attribution. The journal and SSE halves of the contract live
+// in internal/obs and internal/serve.
+func TestWriteNDJSONGolden(t *testing.T) {
+	data, err := os.ReadFile("../obs/testdata/round-rows.golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("golden file has %d lines, want 4", len(lines))
+	}
+	bare := lines[2:] // rows without cell/rep attribution
+
+	r := NewRecorder()
+	r.Observe(core.RoundStats{Round: 0, Players: 300, Movers: 12, NewStrategies: 2, Potential: 1234.5, AvgLatency: 4.125, MaxLatency: 9})
+	r.Observe(core.RoundStats{Round: 7, Players: 256, Movers: 0, NewStrategies: 0, Potential: math.NaN(), AvgLatency: math.Inf(1), MaxLatency: 0.0078125})
+	var sb strings.Builder
+	if err := r.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(got) != len(bare) {
+		t.Fatalf("trace wrote %d rows, want %d", len(got), len(bare))
+	}
+	for i := range got {
+		if got[i] != bare[i] {
+			t.Errorf("row %d:\ngot  %s\nwant %s", i, got[i], bare[i])
+		}
+	}
+}
